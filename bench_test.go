@@ -1,0 +1,226 @@
+package evop
+
+// One benchmark per reproduction experiment (see DESIGN.md's experiment
+// index and EXPERIMENTS.md for recorded outputs), plus micro-benchmarks
+// for the hot paths (model step loop, routing, WebSocket framing, terrain
+// derivation, parallel Monte Carlo).
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"evop/internal/catchment"
+	"evop/internal/experiments"
+	"evop/internal/hydro"
+	"evop/internal/hydro/calibrate"
+	"evop/internal/hydro/fuse"
+	"evop/internal/hydro/topmodel"
+	"evop/internal/timeseries"
+	"evop/internal/weather"
+)
+
+// benchExperiment runs one experiment table per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := experiments.All()[id]
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := runner()
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1EndToEnd(b *testing.B)       { benchExperiment(b, "E1") }
+func BenchmarkE2Scenarios(b *testing.B)      { benchExperiment(b, "E2") }
+func BenchmarkE3RESTvsStateful(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4Cloudburst(b *testing.B)     { benchExperiment(b, "E4") }
+func BenchmarkE5Malfunction(b *testing.B)    { benchExperiment(b, "E5") }
+func BenchmarkE6PushVsPoll(b *testing.B)     { benchExperiment(b, "E6") }
+func BenchmarkE7Elasticity(b *testing.B)     { benchExperiment(b, "E7") }
+func BenchmarkE8FlashCrowd(b *testing.B)     { benchExperiment(b, "E8") }
+func BenchmarkE9Journeys(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkE10Calibration(b *testing.B)   { benchExperiment(b, "E10") }
+func BenchmarkE11Fusion(b *testing.B)        { benchExperiment(b, "E11") }
+func BenchmarkE12Workflow(b *testing.B)      { benchExperiment(b, "E12") }
+func BenchmarkE14Bundles(b *testing.B)       { benchExperiment(b, "E14") }
+func BenchmarkE15Quality(b *testing.B)       { benchExperiment(b, "E15") }
+func BenchmarkE16FUSEEnsemble(b *testing.B)  { benchExperiment(b, "E16") }
+func BenchmarkE17Sensitivity(b *testing.B)   { benchExperiment(b, "E17") }
+func BenchmarkE18Diurnal(b *testing.B)       { benchExperiment(b, "E18") }
+func BenchmarkE19Drought(b *testing.B)       { benchExperiment(b, "E19") }
+
+// Ablation benches (the design choices DESIGN.md calls out).
+func BenchmarkA1PlacementPolicy(b *testing.B)    { benchExperiment(b, "A1") }
+func BenchmarkA2DetectionThreshold(b *testing.B) { benchExperiment(b, "A2") }
+func BenchmarkA3RoutingChoice(b *testing.B)      { benchExperiment(b, "A3") }
+
+// --- micro-benchmarks ---
+
+var benchStart = time.Date(2019, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func benchForcing(b *testing.B, days int) hydro.Forcing {
+	b.Helper()
+	gen, err := weather.NewGenerator(weather.UKUplandClimate(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rain, err := gen.Rainfall(benchStart, time.Hour, days*24)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pet, err := timeseries.Zeros(benchStart, time.Hour, rain.Len())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < pet.Len(); i++ {
+		pet.SetAt(i, 0.05)
+	}
+	return hydro.Forcing{Rain: rain, PET: pet}
+}
+
+func benchTI(b *testing.B) *catchment.TIDistribution {
+	b.Helper()
+	c, ok := catchment.LEFTCatchments().Get("morland")
+	if !ok {
+		b.Fatal("morland missing")
+	}
+	ti, err := c.TopoIndexDistribution()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ti
+}
+
+// BenchmarkTOPMODELYear measures one 365-day hourly TOPMODEL simulation
+// (8760 steps x 30 TI classes).
+func BenchmarkTOPMODELYear(b *testing.B) {
+	ti := benchTI(b)
+	f := benchForcing(b, 365)
+	m, err := topmodel.New(topmodel.DefaultParams(), ti)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFUSEYear measures one 365-day run of a routed FUSE structure.
+func BenchmarkFUSEYear(b *testing.B) {
+	f := benchForcing(b, 365)
+	m, err := fuse.New(fuse.Decisions{
+		Upper: fuse.UpperTensionFree, Perc: fuse.PercWaterContent,
+		Base: fuse.BaseParallel, Routing: fuse.RouteGammaUH,
+	}, fuse.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTerrainDerivation measures DEM generation + pit filling + D8
+// routing + TI binning for a 64x64 catchment.
+func BenchmarkTerrainDerivation(b *testing.B) {
+	cfg := catchment.DefaultTerrain()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dem, err := catchment.GenerateDEM(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dem.FillPits()
+		flow, err := catchment.ComputeFlow(dem)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := flow.TIDistribution(30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonteCarlo100 measures a 100-run parallel calibration sweep.
+func BenchmarkMonteCarlo100(b *testing.B) {
+	ti := benchTI(b)
+	f := benchForcing(b, 30)
+	truth, err := topmodel.New(topmodel.DefaultParams(), ti)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs, err := truth.Run(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := calibrate.MCConfig{
+		Factory: func(vals []float64) (hydro.Model, error) {
+			p := topmodel.DefaultParams()
+			p.M, p.LnTe = vals[0], vals[1]
+			return topmodel.New(p, ti)
+		},
+		Ranges: []calibrate.Range{
+			{Name: "M", Lo: 5, Hi: 100},
+			{Name: "LnTe", Lo: 2, Hi: 8},
+		},
+		Forcing: f, Observed: obs, N: 100, Seed: 1,
+		KeepSimsAbove: math.Inf(1),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := calibrate.MonteCarlo(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlotEncode measures Flot JSON encoding of a 30-day hourly
+// hydrograph (the portal's hot serialisation path).
+func BenchmarkFlotEncode(b *testing.B) {
+	f := benchForcing(b, 30)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Rain.FlotJSON(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUHRouting measures unit-hydrograph convolution over a year of
+// hourly flow.
+func BenchmarkUHRouting(b *testing.B) {
+	f := benchForcing(b, 365)
+	uh, err := hydro.TriangularUH(3, 12)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uh.Route(f.Rain)
+	}
+}

@@ -1,0 +1,56 @@
+// Command evop-experiments regenerates every table recorded in
+// EXPERIMENTS.md: one per paper figure/claim mapped in DESIGN.md.
+//
+// Usage:
+//
+//	evop-experiments            # run everything
+//	evop-experiments E2 E4 E6   # run a subset
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"time"
+
+	"evop/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.SetFlags(0)
+		log.Fatal("evop-experiments: ", err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	registry := experiments.All()
+	ids := args
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	failures := 0
+	for _, id := range ids {
+		runner, ok := registry[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (known: %v)", id, experiments.IDs())
+		}
+		start := time.Now()
+		table, err := runner()
+		took := time.Since(start).Round(time.Millisecond)
+		if err != nil {
+			failures++
+			fmt.Fprintf(out, "%s FAILED after %v: %v\n\n", id, took, err)
+			continue
+		}
+		if err := table.Fprint(out); err != nil {
+			return fmt.Errorf("printing %s: %w", id, err)
+		}
+		fmt.Fprintf(out, "  (%s completed in %v)\n\n", id, took)
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) failed", failures)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSubset(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"E14", "A1"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"E14 —", "A1 —", "completed in"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"E99"}, &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

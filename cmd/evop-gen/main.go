@@ -1,0 +1,162 @@
+// Command evop-gen emits the synthetic datasets the observatory runs on,
+// for inspection or use outside the library.
+//
+// Usage:
+//
+//	evop-gen rain  [-catchment morland] [-days 30]      # hourly rainfall CSV
+//	evop-gen temp  [-catchment morland] [-days 30]      # hourly temperature CSV
+//	evop-gen pet   [-catchment morland] [-days 30]      # hourly Oudin PET CSV
+//	evop-gen dem   [-catchment morland]                  # elevation grid CSV
+//	evop-gen ti    [-catchment morland]                  # topographic index distribution CSV
+//	evop-gen storm [-depth 60] [-hours 6] [-days 2]      # design storm hyetograph CSV
+//
+// All output goes to stdout.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"evop/internal/catchment"
+	"evop/internal/hydro/pet"
+	"evop/internal/timeseries"
+	"evop/internal/weather"
+)
+
+var start = time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.SetFlags(0)
+		log.Fatal("evop-gen: ", err)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: evop-gen <rain|temp|pet|dem|ti|storm> [flags]")
+	}
+	sub := args[0]
+	fs := flag.NewFlagSet(sub, flag.ExitOnError)
+	catchID := fs.String("catchment", "morland", "catchment ID (morland, tarland, machynlleth)")
+	days := fs.Int("days", 30, "record length in days")
+	depth := fs.Float64("depth", 60, "storm depth in mm (storm only)")
+	hours := fs.Int("hours", 6, "storm duration in hours (storm only)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	c, ok := catchment.LEFTCatchments().Get(*catchID)
+	if !ok {
+		return fmt.Errorf("unknown catchment %q", *catchID)
+	}
+	switch sub {
+	case "rain", "temp", "pet":
+		return genForcing(out, sub, c, *days)
+	case "dem":
+		return genDEM(out, c)
+	case "ti":
+		return genTI(out, c)
+	case "storm":
+		return genStorm(out, *depth, *hours, *days)
+	default:
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+}
+
+func genForcing(out io.Writer, kind string, c *catchment.Catchment, days int) error {
+	gen, err := weather.NewGenerator(weather.UKUplandClimate(), c.ClimateSeed)
+	if err != nil {
+		return fmt.Errorf("building generator: %w", err)
+	}
+	var s *timeseries.Series
+	switch kind {
+	case "rain":
+		s, err = gen.Rainfall(start, time.Hour, days*24)
+	case "temp":
+		s, err = gen.Temperature(start, time.Hour, days*24)
+	case "pet":
+		var temp *timeseries.Series
+		temp, err = gen.Temperature(start, time.Hour, days*24)
+		if err == nil {
+			s, err = pet.Oudin(temp, c.Outlet.Lat)
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("generating %s: %w", kind, err)
+	}
+	return s.WriteCSV(out)
+}
+
+func genDEM(out io.Writer, c *catchment.Catchment) error {
+	dem, err := c.DEM()
+	if err != nil {
+		return fmt.Errorf("deriving DEM: %w", err)
+	}
+	w := csv.NewWriter(out)
+	defer w.Flush()
+	if err := w.Write([]string{"row", "col", "elevationM"}); err != nil {
+		return err
+	}
+	for r := 0; r < dem.Rows(); r++ {
+		for col := 0; col < dem.Cols(); col++ {
+			z, err := dem.Elevation(r, col)
+			if err != nil {
+				return err
+			}
+			rec := []string{
+				strconv.Itoa(r), strconv.Itoa(col),
+				strconv.FormatFloat(z, 'f', 2, 64),
+			}
+			if err := w.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return w.Error()
+}
+
+func genTI(out io.Writer, c *catchment.Catchment) error {
+	ti, err := c.TopoIndexDistribution()
+	if err != nil {
+		return fmt.Errorf("deriving TI: %w", err)
+	}
+	w := csv.NewWriter(out)
+	defer w.Flush()
+	if err := w.Write([]string{"lnAOverTanB", "areaFraction"}); err != nil {
+		return err
+	}
+	for i := range ti.Values {
+		rec := []string{
+			strconv.FormatFloat(ti.Values[i], 'f', 4, 64),
+			strconv.FormatFloat(ti.Fractions[i], 'f', 6, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return w.Error()
+}
+
+func genStorm(out io.Writer, depth float64, hours, days int) error {
+	base, err := timeseries.Zeros(start, time.Hour, days*24)
+	if err != nil {
+		return err
+	}
+	storm := weather.DesignStorm{
+		TotalDepthMM: depth,
+		Duration:     time.Duration(hours) * time.Hour,
+		PeakFraction: 0.4,
+	}
+	s, err := storm.Inject(base, start.Add(time.Duration(days)*12*time.Hour))
+	if err != nil {
+		return fmt.Errorf("injecting storm: %w", err)
+	}
+	return s.WriteCSV(out)
+}

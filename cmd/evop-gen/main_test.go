@@ -1,0 +1,74 @@
+package main
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunSubcommands(t *testing.T) {
+	tests := []struct {
+		name    string
+		args    []string
+		wantHdr string
+		minRows int
+	}{
+		{"rain", []string{"rain", "-days", "2"}, "time,value", 48},
+		{"temp", []string{"temp", "-days", "2"}, "time,value", 48},
+		{"pet", []string{"pet", "-days", "2"}, "time,value", 48},
+		{"dem", []string{"dem"}, "row,col,elevationM", 72 * 72},
+		{"ti", []string{"ti"}, "lnAOverTanB,areaFraction", 30},
+		{"storm", []string{"storm", "-days", "1", "-depth", "40"}, "time,value", 24},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var sb strings.Builder
+			if err := run(tc.args, &sb); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+			if lines[0] != tc.wantHdr {
+				t.Fatalf("header = %q, want %q", lines[0], tc.wantHdr)
+			}
+			if got := len(lines) - 1; got < tc.minRows {
+				t.Fatalf("rows = %d, want >= %d", got, tc.minRows)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("no subcommand accepted")
+	}
+	if err := run([]string{"nuke"}, &sb); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"rain", "-catchment", "thames"}, &sb); err == nil {
+		t.Fatal("unknown catchment accepted")
+	}
+}
+
+func TestStormMassReachesOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"storm", "-days", "2", "-depth", "50", "-hours", "3"}, &sb); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Sum the value column; must equal the storm depth.
+	total := 0.0
+	for _, line := range strings.Split(strings.TrimSpace(sb.String()), "\n")[1:] {
+		_, v, ok := strings.Cut(line, ",")
+		if !ok || v == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			t.Fatalf("parsing %q: %v", v, err)
+		}
+		total += f
+	}
+	if total < 49.9 || total > 50.1 {
+		t.Fatalf("storm mass = %v, want 50", total)
+	}
+}

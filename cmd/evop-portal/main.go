@@ -1,0 +1,68 @@
+// Command evop-portal serves the EVOp web portal: the REST asset API, the
+// OGC WPS and SOS services, the map layer, the sensor and modelling
+// widgets, and the WebSocket session channel.
+//
+// Usage:
+//
+//	evop-portal [-addr :8080] [-private 4] [-forcing-days 120]
+//
+// The portal runs on the real clock: sensors sample live, the load
+// balancer ticks every few seconds, and model runs execute on demand.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"evop"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatal("evop-portal: ", err)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("evop-portal", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	private := fs.Int("private", 4, "private cloud instance capacity")
+	forcingDays := fs.Int("forcing-days", 120, "length of the synthetic forcing record")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+
+	clk := evop.NewRealClock()
+	cfg := evop.DefaultConfig(clk)
+	cfg.PrivateCapacity = *private
+	cfg.ForcingDays = *forcingDays
+	cfg.LBInterval = 5 * time.Second
+
+	obs, err := evop.New(cfg)
+	if err != nil {
+		return fmt.Errorf("assembling observatory: %w", err)
+	}
+	obs.Start()
+	defer obs.Stop()
+
+	p, err := evop.NewPortal(obs)
+	if err != nil {
+		return fmt.Errorf("building portal: %w", err)
+	}
+
+	fmt.Printf("EVOp portal listening on %s\n", *addr)
+	fmt.Println("  map layer:   GET  /map/layers?catchment=morland")
+	fmt.Println("  sensors:     GET  /sensors/morland-level-1/latest | /series")
+	fmt.Println("  fusion:      GET  /widgets/fusion?catchment=morland")
+	fmt.Println("  scenarios:   GET  /widgets/model/scenarios")
+	fmt.Println("  model run:   POST /widgets/model/run")
+	fmt.Println("  assets:      GET  /api/catchments | /api/models | /api/sensors")
+	fmt.Println("  WPS:         GET  /wps?service=WPS&request=GetCapabilities")
+	fmt.Println("  SOS:         GET  /sos?service=SOS&request=GetCapabilities")
+	fmt.Println("  sessions:    WS   /ws/session?user=you&service=topmodel")
+	return p.ListenAndServe(*addr)
+}

@@ -1,0 +1,3 @@
+module evop
+
+go 1.22

@@ -1,0 +1,416 @@
+// Package broker implements EVOp's Resource Broker (RB, paper Section
+// IV-D): the Infrastructure Manager module a browser session connects to
+// when a user opens a modelling widget. The RB "responds with an address
+// of a cloud instance that is suitable for the type of computation
+// required, along with some session information", tracks active sessions
+// to sense load, and pushes session updates (such as migration to a new
+// instance) to the user's browser over the WebSocket channel.
+//
+// The broker does not decide placement policy itself: a Placer (the Load
+// Balancer) is consulted for immediate placement, and sessions that cannot
+// be placed yet are queued as pending until capacity appears.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"evop/internal/clock"
+	"evop/internal/cloud"
+)
+
+// Common errors.
+var (
+	// ErrNoSession indicates an unknown session ID.
+	ErrNoSession = errors.New("broker: session not found")
+	// ErrBadConfig indicates an invalid broker configuration.
+	ErrBadConfig = errors.New("broker: invalid configuration")
+)
+
+// SessionState is the lifecycle state of a user session.
+type SessionState int
+
+// Session states.
+const (
+	// Pending means no instance is available yet; the user is waiting.
+	Pending SessionState = iota + 1
+	// Active means the session is bound to a running instance.
+	Active
+	// Closed means the session has ended.
+	Closed
+)
+
+// String returns the state name.
+func (s SessionState) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Active:
+		return "active"
+	case Closed:
+		return "closed"
+	default:
+		return fmt.Sprintf("SessionState(%d)", int(s))
+	}
+}
+
+// Session is one user's connection to the observatory.
+type Session struct {
+	// ID is the broker-assigned session identifier.
+	ID string `json:"id"`
+	// UserID identifies the user (or simulated persona).
+	UserID string `json:"userId"`
+	// Service names the computation the session needs ("topmodel").
+	Service string `json:"service"`
+	// State is the lifecycle state.
+	State SessionState `json:"state"`
+	// InstanceID and InstanceAddr identify the serving instance when
+	// Active.
+	InstanceID   string `json:"instanceId,omitempty"`
+	InstanceAddr string `json:"instanceAddr,omitempty"`
+	// CreatedAt is when the user connected.
+	CreatedAt time.Time `json:"createdAt"`
+	// ActivatedAt is when the session was first bound to an instance.
+	ActivatedAt time.Time `json:"activatedAt,omitempty"`
+}
+
+// UpdateKind classifies the session updates pushed to the browser.
+type UpdateKind int
+
+// Update kinds.
+const (
+	// UpdateAssigned means the session was bound to its first instance.
+	UpdateAssigned UpdateKind = iota + 1
+	// UpdateMigrated means the session moved to a new instance; the
+	// browser should redirect its calls.
+	UpdateMigrated
+	// UpdateClosed means the session ended.
+	UpdateClosed
+	// UpdateSuspended means the session lost its instance and is queued
+	// for reassignment.
+	UpdateSuspended
+)
+
+// String returns the kind name.
+func (k UpdateKind) String() string {
+	switch k {
+	case UpdateAssigned:
+		return "assigned"
+	case UpdateMigrated:
+		return "migrated"
+	case UpdateClosed:
+		return "closed"
+	case UpdateSuspended:
+		return "suspended"
+	default:
+		return fmt.Sprintf("UpdateKind(%d)", int(k))
+	}
+}
+
+// Update is one push message for a session.
+type Update struct {
+	Kind    UpdateKind `json:"kind"`
+	Session Session    `json:"session"`
+	Reason  string     `json:"reason,omitempty"`
+	At      time.Time  `json:"at"`
+}
+
+// Placer supplies an instance for immediate placement, or nil when none
+// is available right now (the session then queues as pending).
+type Placer interface {
+	// PlaceNow returns a running instance with spare capacity for the
+	// service, or nil.
+	PlaceNow(service string) *cloud.Instance
+}
+
+// Broker is the Resource Broker.
+type Broker struct {
+	clk clock.Clock
+
+	mu       sync.Mutex
+	seq      int
+	sessions map[string]*Session
+	pending  []string // session IDs in arrival order
+	placer   Placer
+	subs     map[string]chan Update
+	// instances tracks which instance each active session is on, to
+	// release session slots on close/migrate.
+	bound map[string]*cloud.Instance
+
+	// stats
+	dropped int
+}
+
+// New returns a Broker using the given clock.
+func New(clk clock.Clock) (*Broker, error) {
+	if clk == nil {
+		return nil, fmt.Errorf("nil clock: %w", ErrBadConfig)
+	}
+	return &Broker{
+		clk:      clk,
+		sessions: make(map[string]*Session),
+		subs:     make(map[string]chan Update),
+		bound:    make(map[string]*cloud.Instance),
+	}, nil
+}
+
+// SetPlacer registers the placement authority (the Load Balancer).
+func (b *Broker) SetPlacer(p Placer) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.placer = p
+}
+
+// Connect opens a session for a user. If the placer can serve it now the
+// session is Active with an instance address; otherwise it is Pending and
+// the user will receive an UpdateAssigned push once capacity appears.
+func (b *Broker) Connect(userID, service string) (Session, error) {
+	if userID == "" || service == "" {
+		return Session{}, fmt.Errorf("user %q service %q: %w", userID, service, ErrBadConfig)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.seq++
+	s := &Session{
+		ID:        "s" + strconv.Itoa(b.seq),
+		UserID:    userID,
+		Service:   service,
+		State:     Pending,
+		CreatedAt: b.clk.Now(),
+	}
+	b.sessions[s.ID] = s
+	if b.placer != nil {
+		if inst := b.placer.PlaceNow(service); inst != nil {
+			if err := b.bindLocked(s, inst); err == nil {
+				return *s, nil
+			}
+		}
+	}
+	b.pending = append(b.pending, s.ID)
+	return *s, nil
+}
+
+// bindLocked binds a session to an instance; the broker lock is held.
+func (b *Broker) bindLocked(s *Session, inst *cloud.Instance) error {
+	if err := inst.AddSession(); err != nil {
+		return fmt.Errorf("binding session %s: %w", s.ID, err)
+	}
+	s.State = Active
+	s.InstanceID = inst.ID()
+	s.InstanceAddr = inst.Addr()
+	if s.ActivatedAt.IsZero() {
+		s.ActivatedAt = b.clk.Now()
+	}
+	b.bound[s.ID] = inst
+	b.pushLocked(s.ID, Update{Kind: UpdateAssigned, Session: *s, At: b.clk.Now()})
+	return nil
+}
+
+// AssignPending tries to bind queued sessions using the placer, oldest
+// first, and returns how many were activated.
+func (b *Broker) AssignPending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.placer == nil {
+		return 0
+	}
+	assigned := 0
+	var still []string
+	for _, id := range b.pending {
+		s, ok := b.sessions[id]
+		if !ok || s.State != Pending {
+			continue
+		}
+		inst := b.placer.PlaceNow(s.Service)
+		if inst == nil {
+			still = append(still, id)
+			continue
+		}
+		if err := b.bindLocked(s, inst); err != nil {
+			still = append(still, id)
+			continue
+		}
+		assigned++
+	}
+	b.pending = still
+	return assigned
+}
+
+// Migrate moves an active session to a new instance and pushes an
+// UpdateMigrated message so the browser redirects ("RB is used to push
+// updated session information in order to redirect user calls").
+func (b *Broker) Migrate(sessionID string, to *cloud.Instance, reason string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[sessionID]
+	if !ok || s.State == Closed {
+		return fmt.Errorf("migrate %s: %w", sessionID, ErrNoSession)
+	}
+	if err := to.AddSession(); err != nil {
+		return fmt.Errorf("migrating session %s: %w", sessionID, err)
+	}
+	if old := b.bound[sessionID]; old != nil {
+		old.RemoveSession()
+	}
+	wasPending := s.State == Pending
+	s.State = Active
+	s.InstanceID = to.ID()
+	s.InstanceAddr = to.Addr()
+	if s.ActivatedAt.IsZero() {
+		s.ActivatedAt = b.clk.Now()
+	}
+	b.bound[sessionID] = to
+	kind := UpdateMigrated
+	if wasPending {
+		kind = UpdateAssigned
+	}
+	b.pushLocked(sessionID, Update{Kind: kind, Session: *s, Reason: reason, At: b.clk.Now()})
+	return nil
+}
+
+// Suspend unbinds an active session (for example because its instance is
+// being replaced) and returns it to the pending queue; the user keeps the
+// session and is reassigned when capacity appears.
+func (b *Broker) Suspend(sessionID, reason string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[sessionID]
+	if !ok || s.State == Closed {
+		return fmt.Errorf("suspend %s: %w", sessionID, ErrNoSession)
+	}
+	if s.State == Pending {
+		return nil
+	}
+	if inst := b.bound[sessionID]; inst != nil {
+		inst.RemoveSession()
+		delete(b.bound, sessionID)
+	}
+	s.State = Pending
+	s.InstanceID = ""
+	s.InstanceAddr = ""
+	b.pending = append(b.pending, sessionID)
+	b.pushLocked(sessionID, Update{Kind: UpdateSuspended, Session: *s, Reason: reason, At: b.clk.Now()})
+	return nil
+}
+
+// Disconnect ends a session, releasing its instance slot — this is how
+// the infrastructure "senses when user sessions end" to balance load.
+func (b *Broker) Disconnect(sessionID string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[sessionID]
+	if !ok {
+		return fmt.Errorf("disconnect %s: %w", sessionID, ErrNoSession)
+	}
+	if s.State == Closed {
+		return nil
+	}
+	if inst := b.bound[sessionID]; inst != nil {
+		inst.RemoveSession()
+		delete(b.bound, sessionID)
+	}
+	s.State = Closed
+	b.pushLocked(sessionID, Update{Kind: UpdateClosed, Session: *s, At: b.clk.Now()})
+	if ch, ok := b.subs[sessionID]; ok {
+		close(ch)
+		delete(b.subs, sessionID)
+	}
+	return nil
+}
+
+// Subscribe returns the push channel for a session's updates (creating it
+// if needed). The channel is buffered; if the subscriber falls behind,
+// updates are dropped and counted. The channel closes when the session
+// ends.
+func (b *Broker) Subscribe(sessionID string) (<-chan Update, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[sessionID]
+	if !ok {
+		return nil, fmt.Errorf("subscribe %s: %w", sessionID, ErrNoSession)
+	}
+	if s.State == Closed {
+		ch := make(chan Update)
+		close(ch)
+		return ch, nil
+	}
+	ch, ok := b.subs[sessionID]
+	if !ok {
+		ch = make(chan Update, 16)
+		b.subs[sessionID] = ch
+	}
+	return ch, nil
+}
+
+func (b *Broker) pushLocked(sessionID string, u Update) {
+	ch, ok := b.subs[sessionID]
+	if !ok {
+		return
+	}
+	select {
+	case ch <- u:
+	default:
+		b.dropped++
+	}
+}
+
+// Session returns a snapshot of one session.
+func (b *Broker) Session(id string) (Session, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.sessions[id]
+	if !ok {
+		return Session{}, fmt.Errorf("session %s: %w", id, ErrNoSession)
+	}
+	return *s, nil
+}
+
+// Sessions returns snapshots of all sessions in creation order.
+func (b *Broker) Sessions() []Session {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Session, 0, len(b.sessions))
+	for i := 1; i <= b.seq; i++ {
+		if s, ok := b.sessions["s"+strconv.Itoa(i)]; ok {
+			out = append(out, *s)
+		}
+	}
+	return out
+}
+
+// SessionsOn returns the active sessions bound to an instance.
+func (b *Broker) SessionsOn(instanceID string) []Session {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []Session
+	for i := 1; i <= b.seq; i++ {
+		s, ok := b.sessions["s"+strconv.Itoa(i)]
+		if ok && s.State == Active && s.InstanceID == instanceID {
+			out = append(out, *s)
+		}
+	}
+	return out
+}
+
+// PendingCount returns how many sessions are waiting for capacity.
+func (b *Broker) PendingCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := 0
+	for _, id := range b.pending {
+		if s, ok := b.sessions[id]; ok && s.State == Pending {
+			n++
+		}
+	}
+	return n
+}
+
+// DroppedUpdates reports push messages dropped due to slow subscribers.
+func (b *Broker) DroppedUpdates() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}

@@ -1,0 +1,324 @@
+package broker
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"evop/internal/clock"
+	"evop/internal/cloud"
+)
+
+var epoch = time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC)
+
+// fixedPlacer returns a preset instance (or nil).
+type fixedPlacer struct {
+	inst *cloud.Instance
+}
+
+func (p *fixedPlacer) PlaceNow(string) *cloud.Instance { return p.inst }
+
+func testInstance(t *testing.T, clk *clock.Simulated) *cloud.Instance {
+	t.Helper()
+	p, err := cloud.NewProvider(cloud.Config{
+		Name: "test", Kind: cloud.Private, MaxInstances: 10,
+		BootDelay: time.Second, AddrPrefix: "10.0.0.", Clock: clk,
+	})
+	if err != nil {
+		t.Fatalf("NewProvider: %v", err)
+	}
+	inst, err := p.Launch(cloud.Image{ID: "img", Kind: cloud.Streamlined, Services: []string{"topmodel"}}, cloud.DefaultFlavor())
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	clk.Advance(2 * time.Second)
+	return inst
+}
+
+func TestNewRequiresClock(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("New(nil) err = %v", err)
+	}
+}
+
+func TestConnectImmediateAssignment(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	inst := testInstance(t, clk)
+	b.SetPlacer(&fixedPlacer{inst: inst})
+
+	s, err := b.Connect("alice", "topmodel")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if s.State != Active {
+		t.Fatalf("state = %v, want active", s.State)
+	}
+	if s.InstanceAddr != inst.Addr() || s.InstanceID != inst.ID() {
+		t.Fatalf("session bound to %s/%s", s.InstanceID, s.InstanceAddr)
+	}
+	if inst.Sessions() != 1 {
+		t.Fatalf("instance sessions = %d", inst.Sessions())
+	}
+	if b.PendingCount() != 0 {
+		t.Fatalf("pending = %d", b.PendingCount())
+	}
+}
+
+func TestConnectValidation(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	if _, err := b.Connect("", "svc"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("empty user err = %v", err)
+	}
+	if _, err := b.Connect("u", ""); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("empty service err = %v", err)
+	}
+}
+
+func TestConnectPendingThenAssign(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	placer := &fixedPlacer{} // nothing available yet
+	b.SetPlacer(placer)
+
+	s, err := b.Connect("bob", "topmodel")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if s.State != Pending || s.InstanceAddr != "" {
+		t.Fatalf("session = %+v, want pending", s)
+	}
+	if b.PendingCount() != 1 {
+		t.Fatalf("pending = %d", b.PendingCount())
+	}
+
+	// Capacity appears.
+	clk.Advance(time.Minute)
+	placer.inst = testInstance(t, clk)
+	if got := b.AssignPending(); got != 1 {
+		t.Fatalf("AssignPending = %d", got)
+	}
+	got, err := b.Session(s.ID)
+	if err != nil {
+		t.Fatalf("Session: %v", err)
+	}
+	if got.State != Active || got.InstanceID != placer.inst.ID() {
+		t.Fatalf("session after assign = %+v", got)
+	}
+	if got.ActivatedAt.Sub(got.CreatedAt) <= 0 {
+		t.Fatal("wait time not recorded")
+	}
+}
+
+func TestSubscribeReceivesPushes(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	placer := &fixedPlacer{}
+	b.SetPlacer(placer)
+
+	s, _ := b.Connect("carol", "topmodel")
+	ch, err := b.Subscribe(s.ID)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	placer.inst = testInstance(t, clk)
+	b.AssignPending()
+
+	select {
+	case u := <-ch:
+		if u.Kind != UpdateAssigned {
+			t.Fatalf("update kind = %v, want assigned", u.Kind)
+		}
+		if u.Session.InstanceAddr == "" {
+			t.Fatal("assigned update missing address")
+		}
+	default:
+		t.Fatal("no update pushed")
+	}
+
+	// Migration push.
+	inst2 := testInstance(t, clk)
+	if err := b.Migrate(s.ID, inst2, "rebalance"); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	select {
+	case u := <-ch:
+		if u.Kind != UpdateMigrated || u.Session.InstanceID != inst2.ID() {
+			t.Fatalf("update = %+v", u)
+		}
+		if u.Reason != "rebalance" {
+			t.Fatalf("reason = %q", u.Reason)
+		}
+	default:
+		t.Fatal("no migration update pushed")
+	}
+
+	// Close push and channel closure.
+	if err := b.Disconnect(s.ID); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	u, ok := <-ch
+	if !ok || u.Kind != UpdateClosed {
+		t.Fatalf("close update = %+v ok=%v", u, ok)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after disconnect")
+	}
+}
+
+func TestMigrateReleasesOldSlot(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	inst1 := testInstance(t, clk)
+	b.SetPlacer(&fixedPlacer{inst: inst1})
+	s, _ := b.Connect("dave", "topmodel")
+	inst2 := testInstance(t, clk)
+
+	if err := b.Migrate(s.ID, inst2, ""); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if inst1.Sessions() != 0 || inst2.Sessions() != 1 {
+		t.Fatalf("sessions: old=%d new=%d", inst1.Sessions(), inst2.Sessions())
+	}
+	if err := b.Migrate("ghost", inst2, ""); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("Migrate unknown err = %v", err)
+	}
+}
+
+func TestSuspendRequeues(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	inst := testInstance(t, clk)
+	b.SetPlacer(&fixedPlacer{inst: inst})
+	s, _ := b.Connect("erin", "topmodel")
+	ch, _ := b.Subscribe(s.ID)
+
+	if err := b.Suspend(s.ID, "instance dying"); err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	if inst.Sessions() != 0 {
+		t.Fatalf("old instance still holds %d sessions", inst.Sessions())
+	}
+	got, _ := b.Session(s.ID)
+	if got.State != Pending || got.InstanceID != "" {
+		t.Fatalf("session = %+v", got)
+	}
+	if b.PendingCount() != 1 {
+		t.Fatalf("pending = %d", b.PendingCount())
+	}
+	select {
+	case u := <-ch:
+		if u.Kind != UpdateSuspended {
+			t.Fatalf("kind = %v", u.Kind)
+		}
+	default:
+		t.Fatal("no suspend push")
+	}
+	// Suspending a pending session is a no-op.
+	if err := b.Suspend(s.ID, "again"); err != nil {
+		t.Fatalf("double Suspend: %v", err)
+	}
+	if err := b.Suspend("ghost", ""); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("Suspend unknown err = %v", err)
+	}
+}
+
+func TestDisconnectIdempotentAndErrors(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	inst := testInstance(t, clk)
+	b.SetPlacer(&fixedPlacer{inst: inst})
+	s, _ := b.Connect("frank", "topmodel")
+	if err := b.Disconnect(s.ID); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	if inst.Sessions() != 0 {
+		t.Fatal("slot not released")
+	}
+	if err := b.Disconnect(s.ID); err != nil {
+		t.Fatalf("double Disconnect: %v", err)
+	}
+	if err := b.Disconnect("ghost"); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("Disconnect unknown err = %v", err)
+	}
+	// Subscribing to a closed session yields a closed channel.
+	ch, err := b.Subscribe(s.ID)
+	if err != nil {
+		t.Fatalf("Subscribe closed: %v", err)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("closed session channel delivered a value")
+	}
+}
+
+func TestSessionsViews(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	inst := testInstance(t, clk)
+	b.SetPlacer(&fixedPlacer{inst: inst})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		s, _ := b.Connect("user", "topmodel")
+		ids = append(ids, s.ID)
+	}
+	all := b.Sessions()
+	if len(all) != 3 {
+		t.Fatalf("Sessions = %d", len(all))
+	}
+	for i, s := range all {
+		if s.ID != ids[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, s.ID, ids[i])
+		}
+	}
+	on := b.SessionsOn(inst.ID())
+	if len(on) != 3 {
+		t.Fatalf("SessionsOn = %d", len(on))
+	}
+	if _, err := b.Session("ghost"); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("Session unknown err = %v", err)
+	}
+}
+
+func TestDroppedUpdatesCounted(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	inst := testInstance(t, clk)
+	b.SetPlacer(&fixedPlacer{inst: inst})
+	s, _ := b.Connect("slow", "topmodel")
+	if _, err := b.Subscribe(s.ID); err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+	// Overflow the 16-slot buffer without draining.
+	inst2 := testInstance(t, clk)
+	for i := 0; i < 40; i++ {
+		target := inst
+		if i%2 == 0 {
+			target = inst2
+		}
+		if err := b.Migrate(s.ID, target, "churn"); err != nil {
+			t.Fatalf("Migrate %d: %v", i, err)
+		}
+	}
+	if b.DroppedUpdates() == 0 {
+		t.Fatal("expected dropped updates when subscriber stalls")
+	}
+}
+
+func TestStateAndKindStrings(t *testing.T) {
+	for got, want := range map[string]string{
+		Pending.String():         "pending",
+		Active.String():          "active",
+		Closed.String():          "closed",
+		SessionState(9).String(): "SessionState(9)",
+		UpdateAssigned.String():  "assigned",
+		UpdateMigrated.String():  "migrated",
+		UpdateClosed.String():    "closed",
+		UpdateSuspended.String(): "suspended",
+		UpdateKind(9).String():   "UpdateKind(9)",
+	} {
+		if got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package crosscloud
+
+import (
+	"sort"
+
+	"evop/internal/cloud"
+)
+
+// CostAware is a placement policy for federations with several leased
+// clouds (the paper's Section VI argues a "federated open approach" is
+// essential because "it is impossible to commit the national and
+// international ES community to any one commercial provider"): private
+// capacity first, then public providers ordered by their current accrued
+// spend, cheapest-so-far first, which spreads lease cost across
+// providers.
+type CostAware struct{}
+
+var _ Policy = CostAware{}
+
+// Name implements Policy.
+func (CostAware) Name() string { return "cost-aware" }
+
+// Order implements Policy.
+func (CostAware) Order(providers []cloud.Provider, _ cloud.Image) []cloud.Provider {
+	out := make([]cloud.Provider, 0, len(providers))
+	var public []cloud.Provider
+	for _, p := range providers {
+		if p.Kind() == cloud.Private {
+			out = append(out, p)
+		} else {
+			public = append(public, p)
+		}
+	}
+	sort.SliceStable(public, func(i, j int) bool {
+		return public[i].CostAccrued() < public[j].CostAccrued()
+	})
+	return append(out, public...)
+}

@@ -1,0 +1,245 @@
+// Package crosscloud is EVOp's analogue of the jclouds library the paper
+// used "to promote portability and to avoid being tied in to one
+// provider": a provider-agnostic façade over any number of cloud.Provider
+// implementations, with pluggable placement policies.
+//
+// The paper gives a concrete example of why the abstraction matters:
+// switching the scheduling policy from "all computations on private cloud
+// until saturation" to "streamlined models to AWS and experimental ones to
+// the private cloud" without touching callers. Both policies are provided
+// here (PrivateFirst and ByImageKind).
+package crosscloud
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"evop/internal/cloud"
+)
+
+// Common errors.
+var (
+	// ErrNoProvider indicates the multi-cloud has no provider able to
+	// satisfy a launch.
+	ErrNoProvider = errors.New("crosscloud: no provider available")
+	// ErrUnknownProvider indicates a provider name that is not
+	// registered.
+	ErrUnknownProvider = errors.New("crosscloud: unknown provider")
+)
+
+// Policy orders the candidate providers for a launch; a launch tries each
+// in turn until one accepts.
+type Policy interface {
+	// Name identifies the policy in logs and reports.
+	Name() string
+	// Order returns the providers to try, most preferred first.
+	Order(providers []cloud.Provider, img cloud.Image) []cloud.Provider
+}
+
+// PrivateFirst is the paper's default policy: "user requests are served by
+// default using private instances. Upon saturation of private cloud
+// resources ... public cloud instances are used beside private ones."
+type PrivateFirst struct{}
+
+var _ Policy = PrivateFirst{}
+
+// Name implements Policy.
+func (PrivateFirst) Name() string { return "private-first" }
+
+// Order implements Policy.
+func (PrivateFirst) Order(providers []cloud.Provider, _ cloud.Image) []cloud.Provider {
+	out := make([]cloud.Provider, 0, len(providers))
+	for _, p := range providers {
+		if p.Kind() == cloud.Private {
+			out = append(out, p)
+		}
+	}
+	for _, p := range providers {
+		if p.Kind() == cloud.Public {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ByImageKind is the paper's "more selective" example policy: streamlined
+// models go to the public cloud, experimental (incubator) ones stay on the
+// private cloud. Either class falls back to the other kind if its
+// preferred kind is exhausted.
+type ByImageKind struct{}
+
+var _ Policy = ByImageKind{}
+
+// Name implements Policy.
+func (ByImageKind) Name() string { return "by-image-kind" }
+
+// Order implements Policy.
+func (ByImageKind) Order(providers []cloud.Provider, img cloud.Image) []cloud.Provider {
+	preferred := cloud.Private
+	if img.Kind == cloud.Streamlined {
+		preferred = cloud.Public
+	}
+	out := make([]cloud.Provider, 0, len(providers))
+	for _, p := range providers {
+		if p.Kind() == preferred {
+			out = append(out, p)
+		}
+	}
+	for _, p := range providers {
+		if p.Kind() != preferred {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Multi is the cross-cloud compute façade.
+type Multi struct {
+	mu        sync.RWMutex
+	providers []cloud.Provider
+	policy    Policy
+}
+
+// New builds a Multi over the given providers with the given placement
+// policy (PrivateFirst if nil).
+func New(policy Policy, providers ...cloud.Provider) (*Multi, error) {
+	if len(providers) == 0 {
+		return nil, fmt.Errorf("no providers: %w", ErrNoProvider)
+	}
+	seen := make(map[string]bool, len(providers))
+	for _, p := range providers {
+		if seen[p.Name()] {
+			return nil, fmt.Errorf("duplicate provider %q: %w", p.Name(), ErrUnknownProvider)
+		}
+		seen[p.Name()] = true
+	}
+	if policy == nil {
+		policy = PrivateFirst{}
+	}
+	cp := make([]cloud.Provider, len(providers))
+	copy(cp, providers)
+	return &Multi{providers: cp, policy: policy}, nil
+}
+
+// SetPolicy swaps the placement policy at runtime — the interoperability
+// the paper calls out ("changing the scheduling policy ... proved quite
+// useful").
+func (m *Multi) SetPolicy(p Policy) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if p != nil {
+		m.policy = p
+	}
+}
+
+// Policy returns the active placement policy.
+func (m *Multi) Policy() Policy {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.policy
+}
+
+// Providers returns the registered providers.
+func (m *Multi) Providers() []cloud.Provider {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]cloud.Provider, len(m.providers))
+	copy(out, m.providers)
+	return out
+}
+
+// Provider returns a registered provider by name.
+func (m *Multi) Provider(name string) (cloud.Provider, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, p := range m.providers {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("%q: %w", name, ErrUnknownProvider)
+}
+
+// Launch places a new instance according to the active policy, trying
+// providers in policy order until one accepts. It returns ErrNoProvider
+// when every provider is at capacity.
+func (m *Multi) Launch(img cloud.Image, flavor cloud.Flavor) (*cloud.Instance, error) {
+	m.mu.RLock()
+	policy := m.policy
+	providers := make([]cloud.Provider, len(m.providers))
+	copy(providers, m.providers)
+	m.mu.RUnlock()
+
+	var lastErr error
+	for _, p := range policy.Order(providers, img) {
+		inst, err := p.Launch(img, flavor)
+		if err == nil {
+			return inst, nil
+		}
+		if !errors.Is(err, cloud.ErrCapacity) {
+			return nil, fmt.Errorf("launching on %s: %w", p.Name(), err)
+		}
+		lastErr = err
+	}
+	if lastErr != nil {
+		return nil, fmt.Errorf("all providers exhausted: %w (last: %v)", ErrNoProvider, lastErr)
+	}
+	return nil, ErrNoProvider
+}
+
+// Terminate removes an instance from whichever provider owns it.
+func (m *Multi) Terminate(id string) error {
+	m.mu.RLock()
+	providers := make([]cloud.Provider, len(m.providers))
+	copy(providers, m.providers)
+	m.mu.RUnlock()
+	for _, p := range providers {
+		err := p.Terminate(id)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, cloud.ErrNotFound) {
+			return fmt.Errorf("terminating on %s: %w", p.Name(), err)
+		}
+	}
+	return fmt.Errorf("terminate %s: %w", id, cloud.ErrNotFound)
+}
+
+// Instances lists live instances across all providers in provider
+// registration order.
+func (m *Multi) Instances() []*cloud.Instance {
+	m.mu.RLock()
+	providers := make([]cloud.Provider, len(m.providers))
+	copy(providers, m.providers)
+	m.mu.RUnlock()
+	var out []*cloud.Instance
+	for _, p := range providers {
+		out = append(out, p.Instances()...)
+	}
+	return out
+}
+
+// CostAccrued sums cost across providers.
+func (m *Multi) CostAccrued() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	total := 0.0
+	for _, p := range m.providers {
+		total += p.CostAccrued()
+	}
+	return total
+}
+
+// CountByKind reports live instance counts split by provider kind.
+func (m *Multi) CountByKind() (private, public int) {
+	for _, inst := range m.Instances() {
+		switch inst.Kind() {
+		case cloud.Private:
+			private++
+		case cloud.Public:
+			public++
+		}
+	}
+	return private, public
+}

@@ -1,0 +1,249 @@
+package crosscloud
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"evop/internal/clock"
+	"evop/internal/cloud"
+)
+
+var epoch = time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func testClouds(t *testing.T, privateMax int) (*clock.Simulated, cloud.Provider, cloud.Provider) {
+	t.Helper()
+	clk := clock.NewSimulated(epoch)
+	private, err := cloud.NewProvider(cloud.Config{
+		Name: "openstack", Kind: cloud.Private, MaxInstances: privateMax,
+		BootDelay: 30 * time.Second, AddrPrefix: "10.1.0.", Clock: clk,
+	})
+	if err != nil {
+		t.Fatalf("private provider: %v", err)
+	}
+	public, err := cloud.NewProvider(cloud.Config{
+		Name: "aws", Kind: cloud.Public, MaxInstances: -1,
+		BootDelay: 90 * time.Second, AddrPrefix: "54.0.0.", Clock: clk,
+	})
+	if err != nil {
+		t.Fatalf("public provider: %v", err)
+	}
+	return clk, private, public
+}
+
+func img(kind cloud.ImageKind) cloud.Image {
+	return cloud.Image{ID: "img-" + kind.String(), Name: "test", Kind: kind}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrNoProvider) {
+		t.Fatalf("no providers err = %v", err)
+	}
+	_, private, _ := testClouds(t, 2)
+	if _, err := New(nil, private, private); !errors.Is(err, ErrUnknownProvider) {
+		t.Fatalf("duplicate provider err = %v", err)
+	}
+	m, err := New(nil, private)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if m.Policy().Name() != "private-first" {
+		t.Fatalf("default policy = %q", m.Policy().Name())
+	}
+}
+
+func TestPrivateFirstCloudburstOrder(t *testing.T) {
+	_, private, public := testClouds(t, 2)
+	m, _ := New(PrivateFirst{}, private, public)
+
+	// First two land on private.
+	for i := 0; i < 2; i++ {
+		inst, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+		if err != nil {
+			t.Fatalf("Launch %d: %v", i, err)
+		}
+		if inst.Kind() != cloud.Private {
+			t.Fatalf("launch %d went %v, want private", i, inst.Kind())
+		}
+	}
+	// Private saturated: burst to public.
+	inst, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+	if err != nil {
+		t.Fatalf("burst Launch: %v", err)
+	}
+	if inst.Kind() != cloud.Public {
+		t.Fatalf("burst went %v, want public", inst.Kind())
+	}
+	priv, pub := m.CountByKind()
+	if priv != 2 || pub != 1 {
+		t.Fatalf("counts = %d private, %d public", priv, pub)
+	}
+}
+
+func TestByImageKindPolicy(t *testing.T) {
+	_, private, public := testClouds(t, 2)
+	m, _ := New(ByImageKind{}, private, public)
+
+	stream, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+	if err != nil {
+		t.Fatalf("Launch streamlined: %v", err)
+	}
+	if stream.Kind() != cloud.Public {
+		t.Fatalf("streamlined went %v, want public", stream.Kind())
+	}
+	inc, err := m.Launch(img(cloud.Incubator), cloud.DefaultFlavor())
+	if err != nil {
+		t.Fatalf("Launch incubator: %v", err)
+	}
+	if inc.Kind() != cloud.Private {
+		t.Fatalf("incubator went %v, want private", inc.Kind())
+	}
+}
+
+func TestByImageKindFallsBack(t *testing.T) {
+	_, private, public := testClouds(t, 0) // private full from the start
+	m, _ := New(ByImageKind{}, private, public)
+	inc, err := m.Launch(img(cloud.Incubator), cloud.DefaultFlavor())
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if inc.Kind() != cloud.Public {
+		t.Fatalf("incubator with full private went %v, want public fallback", inc.Kind())
+	}
+}
+
+func TestSetPolicySwapsAtRuntime(t *testing.T) {
+	_, private, public := testClouds(t, 2)
+	m, _ := New(PrivateFirst{}, private, public)
+	first, _ := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+	if first.Kind() != cloud.Private {
+		t.Fatal("private-first did not pick private")
+	}
+	m.SetPolicy(ByImageKind{})
+	second, _ := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+	if second.Kind() != cloud.Public {
+		t.Fatal("policy swap had no effect")
+	}
+	m.SetPolicy(nil) // nil is ignored
+	if m.Policy().Name() != "by-image-kind" {
+		t.Fatal("nil SetPolicy overwrote the policy")
+	}
+}
+
+func TestLaunchExhausted(t *testing.T) {
+	_, private, _ := testClouds(t, 1)
+	m, _ := New(PrivateFirst{}, private)
+	if _, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor()); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if _, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor()); !errors.Is(err, ErrNoProvider) {
+		t.Fatalf("exhausted err = %v", err)
+	}
+}
+
+func TestTerminateAcrossProviders(t *testing.T) {
+	_, private, public := testClouds(t, 1)
+	m, _ := New(PrivateFirst{}, private, public)
+	a, _ := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+	b, _ := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+	if a.Kind() == b.Kind() {
+		t.Fatal("fixture should spread across providers")
+	}
+	if err := m.Terminate(b.ID()); err != nil {
+		t.Fatalf("Terminate public: %v", err)
+	}
+	if err := m.Terminate(a.ID()); err != nil {
+		t.Fatalf("Terminate private: %v", err)
+	}
+	if err := m.Terminate("ghost"); !errors.Is(err, cloud.ErrNotFound) {
+		t.Fatalf("Terminate unknown err = %v", err)
+	}
+	if got := len(m.Instances()); got != 0 {
+		t.Fatalf("Instances = %d, want 0", got)
+	}
+}
+
+func TestProviderLookup(t *testing.T) {
+	_, private, public := testClouds(t, 1)
+	m, _ := New(nil, private, public)
+	p, err := m.Provider("aws")
+	if err != nil || p.Name() != "aws" {
+		t.Fatalf("Provider(aws) = %v, %v", p, err)
+	}
+	if _, err := m.Provider("azure"); !errors.Is(err, ErrUnknownProvider) {
+		t.Fatalf("unknown provider err = %v", err)
+	}
+	if got := len(m.Providers()); got != 2 {
+		t.Fatalf("Providers = %d", got)
+	}
+}
+
+func TestCostAccruedAggregates(t *testing.T) {
+	clk, private, public := testClouds(t, 1)
+	m, _ := New(PrivateFirst{}, private, public)
+	m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor()) // private, free
+	m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor()) // public, 0.10/h
+	clk.Advance(time.Hour)
+	got := m.CostAccrued()
+	if got < 0.09 || got > 0.11 {
+		t.Fatalf("CostAccrued = %v, want ~0.10", got)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (PrivateFirst{}).Name() != "private-first" || (ByImageKind{}).Name() != "by-image-kind" {
+		t.Fatal("policy names changed")
+	}
+}
+
+func TestCostAwareSpreadsAcrossPublicProviders(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	mk := func(name string) cloud.Provider {
+		p, err := cloud.NewProvider(cloud.Config{
+			Name: name, Kind: cloud.Public, MaxInstances: -1,
+			BootDelay: time.Minute, AddrPrefix: "54.1.0.", Clock: clk,
+		})
+		if err != nil {
+			t.Fatalf("provider %s: %v", name, err)
+		}
+		return p
+	}
+	private, err := cloud.NewProvider(cloud.Config{
+		Name: "openstack-x", Kind: cloud.Private, MaxInstances: 1,
+		BootDelay: time.Minute, AddrPrefix: "10.9.0.", Clock: clk,
+	})
+	if err != nil {
+		t.Fatalf("private: %v", err)
+	}
+	awsLike, azureLike := mk("aws-like"), mk("azure-like")
+	m, err := New(CostAware{}, private, awsLike, azureLike)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if m.Policy().Name() != "cost-aware" {
+		t.Fatalf("policy = %s", m.Policy().Name())
+	}
+
+	// First launch fills the private slot.
+	first, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if first.Kind() != cloud.Private {
+		t.Fatal("cost-aware did not prefer private capacity")
+	}
+	// Subsequent launches alternate between the public providers as cost
+	// accrues: launch, let an hour of lease accrue, launch again.
+	counts := map[string]int{}
+	for i := 0; i < 4; i++ {
+		inst, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+		if err != nil {
+			t.Fatalf("Launch %d: %v", i, err)
+		}
+		counts[inst.ProviderName()]++
+		clk.Advance(time.Hour)
+	}
+	if counts["aws-like"] == 0 || counts["azure-like"] == 0 {
+		t.Fatalf("cost-aware did not spread: %v", counts)
+	}
+}

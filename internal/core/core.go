@@ -1,0 +1,831 @@
+// Package core assembles the Environmental Virtual Observatory: the
+// paper's primary contribution is not any single algorithm but the
+// integration — catchments, data feeds, models, a model library, a hybrid
+// cloud with broker/load-balancer management, and standards-compliant
+// service interfaces — into one virtual research space. Observatory is
+// that assembly, and is the type the portal, the examples and the
+// experiments all build on.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"evop/internal/broker"
+	"evop/internal/catchment"
+	"evop/internal/clock"
+	"evop/internal/cloud"
+	"evop/internal/cloud/crosscloud"
+	"evop/internal/hydro"
+	"evop/internal/hydro/fuse"
+	"evop/internal/hydro/lowflow"
+	"evop/internal/hydro/pet"
+	"evop/internal/hydro/quality"
+	"evop/internal/hydro/topmodel"
+	"evop/internal/loadbalancer"
+	"evop/internal/modellib"
+	"evop/internal/ogc/sos"
+	"evop/internal/ogc/wps"
+	"evop/internal/rest"
+	"evop/internal/scenario"
+	"evop/internal/sensor"
+	"evop/internal/timeseries"
+	"evop/internal/weather"
+	"evop/internal/workflow"
+)
+
+// Common errors.
+var (
+	// ErrBadConfig indicates an invalid observatory configuration.
+	ErrBadConfig = errors.New("core: invalid configuration")
+	// ErrUnknownModel indicates an unsupported model name.
+	ErrUnknownModel = errors.New("core: unknown model")
+)
+
+// Config parameterises the observatory.
+type Config struct {
+	// Clock drives everything; required.
+	Clock clock.Clock
+	// Start anchors the simulated data period (forcing, sensors).
+	Start time.Time
+	// PrivateCapacity is the private cloud's instance limit.
+	PrivateCapacity int
+	// Flavor is the instance size used for model services.
+	Flavor cloud.Flavor
+	// LBInterval is the load balancer control period.
+	LBInterval time.Duration
+	// ForcingDays is the length of the standard forcing record each
+	// catchment carries.
+	ForcingDays int
+}
+
+// DefaultConfig returns a config suitable for experiments: a small
+// private cloud, elastic public cloud, 10s control loop, 120-day forcing.
+func DefaultConfig(clk clock.Clock) Config {
+	return Config{
+		Clock:           clk,
+		Start:           time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC),
+		PrivateCapacity: 4,
+		Flavor:          cloud.DefaultFlavor(),
+		LBInterval:      10 * time.Second,
+		ForcingDays:     120,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Clock == nil:
+		return fmt.Errorf("nil clock: %w", ErrBadConfig)
+	case c.Start.IsZero():
+		return fmt.Errorf("zero start: %w", ErrBadConfig)
+	case c.PrivateCapacity < 1:
+		return fmt.Errorf("private capacity %d: %w", c.PrivateCapacity, ErrBadConfig)
+	case c.Flavor.MaxSessions < 1:
+		return fmt.Errorf("flavor sessions %d: %w", c.Flavor.MaxSessions, ErrBadConfig)
+	case c.LBInterval <= 0:
+		return fmt.Errorf("LB interval %v: %w", c.LBInterval, ErrBadConfig)
+	case c.ForcingDays < 2:
+		return fmt.Errorf("forcing days %d: %w", c.ForcingDays, ErrBadConfig)
+	}
+	return nil
+}
+
+// Observatory is the assembled EVOp platform.
+type Observatory struct {
+	cfg Config
+
+	// Catchments is the study catchment registry.
+	Catchments *catchment.Registry
+	// Network is the in-situ sensor network across all catchments.
+	Network *sensor.Network
+	// Library is the Model Library.
+	Library *modellib.Library
+	// Private and Public are the two clouds; Multi is the cross-cloud
+	// façade over them.
+	Private *cloud.SimProvider
+	Public  *cloud.SimProvider
+	Multi   *crosscloud.Multi
+	// Broker is the Resource Broker; LB the Load Balancer.
+	Broker *broker.Broker
+	LB     *loadbalancer.LB
+	// WPS exposes the models; SOS the sensors; Assets the REST resources.
+	WPS    *wps.Service
+	SOS    *sos.Service
+	Assets *rest.Store
+	// Workflows executes composed experiments (the future-work feature).
+	Workflows *workflow.Service
+
+	mu       sync.Mutex
+	forcings map[string]hydro.Forcing
+	uploads  map[string]*timeseries.Series
+}
+
+// New assembles an observatory over the three LEFT catchments.
+func New(cfg Config) (*Observatory, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	o := &Observatory{
+		cfg:        cfg,
+		Catchments: catchment.LEFTCatchments(),
+		Library:    modellib.New(cfg.Clock.Now),
+		Assets:     rest.NewStore(),
+		forcings:   make(map[string]hydro.Forcing),
+		uploads:    make(map[string]*timeseries.Series),
+	}
+
+	var err error
+	o.Private, err = cloud.NewProvider(cloud.Config{
+		Name: "openstack-lancaster", Kind: cloud.Private,
+		MaxInstances: cfg.PrivateCapacity, BootDelay: 30 * time.Second,
+		AddrPrefix: "10.40.1.", Clock: cfg.Clock,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("building private cloud: %w", err)
+	}
+	o.Public, err = cloud.NewProvider(cloud.Config{
+		Name: "aws-eu-west", Kind: cloud.Public,
+		MaxInstances: -1, BootDelay: 90 * time.Second,
+		AddrPrefix: "54.72.0.", Clock: cfg.Clock,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("building public cloud: %w", err)
+	}
+	o.Multi, err = crosscloud.New(crosscloud.PrivateFirst{}, o.Private, o.Public)
+	if err != nil {
+		return nil, fmt.Errorf("building multi-cloud: %w", err)
+	}
+	o.Broker, err = broker.New(cfg.Clock)
+	if err != nil {
+		return nil, fmt.Errorf("building broker: %w", err)
+	}
+
+	// Sensor network: the standard LEFT deployment per catchment.
+	o.Network, err = sensor.NewNetwork(cfg.Clock)
+	if err != nil {
+		return nil, fmt.Errorf("building sensor network: %w", err)
+	}
+	for _, c := range o.Catchments.All() {
+		sensors, err := sensor.LEFTDeployment(cfg.Clock, c.ID, c.Outlet, c.ClimateSeed, cfg.Start)
+		if err != nil {
+			return nil, fmt.Errorf("deploying sensors in %s: %w", c.ID, err)
+		}
+		for _, s := range sensors {
+			if err := o.Network.Add(s); err != nil {
+				return nil, fmt.Errorf("adding sensor %s: %w", s.ID, err)
+			}
+		}
+	}
+	o.SOS, err = sos.NewService("EVOp SOS", o.Network, cfg.Clock)
+	if err != nil {
+		return nil, fmt.Errorf("building SOS: %w", err)
+	}
+
+	// Model Library: a streamlined TOPMODEL bundle per catchment, one
+	// FUSE bundle, one incubator.
+	for _, c := range o.Catchments.All() {
+		if _, err := o.Library.PublishStreamlined("topmodel", c.ID, topmodel.DefaultParams(),
+			10*time.Second, "offline-calibrated TOPMODEL for "+c.Name); err != nil {
+			return nil, fmt.Errorf("publishing topmodel bundle: %w", err)
+		}
+		if _, err := o.Library.PublishStreamlined("fuse", c.ID, fuse.DefaultParams(),
+			10*time.Second, "FUSE ensemble for "+c.Name); err != nil {
+			return nil, fmt.Errorf("publishing fuse bundle: %w", err)
+		}
+	}
+	if _, err := o.Library.PublishIncubator("general", 4*time.Minute,
+		"generic model incubator for experimental models"); err != nil {
+		return nil, fmt.Errorf("publishing incubator: %w", err)
+	}
+
+	// Load balancer launches the multi-service image (it serves both
+	// model families — the bundles list both identifiers).
+	serviceImage := cloud.Image{
+		ID: "evop-services-v1", Name: "EVOp model services", Kind: cloud.Streamlined,
+		Services: []string{"topmodel", "fuse"},
+	}
+	o.LB, err = loadbalancer.New(loadbalancer.Config{
+		Multi: o.Multi, Broker: o.Broker, Clock: cfg.Clock,
+		Image: serviceImage, Flavor: cfg.Flavor, Interval: cfg.LBInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("building load balancer: %w", err)
+	}
+
+	// WPS: model execution processes.
+	o.WPS = wps.NewService("EVOp WPS")
+	if err := o.WPS.Register(&modelProcess{obs: o, model: "topmodel"}); err != nil {
+		return nil, fmt.Errorf("registering topmodel process: %w", err)
+	}
+	if err := o.WPS.Register(&modelProcess{obs: o, model: "fuse"}); err != nil {
+		return nil, fmt.Errorf("registering fuse process: %w", err)
+	}
+
+	// Workflow composition over the same processes, plus a statistics
+	// process so hydrographs can flow between nodes.
+	o.Workflows = workflow.NewService()
+	for _, model := range []string{"topmodel", "fuse"} {
+		proc := &modelProcess{obs: o, model: model}
+		if err := o.Workflows.RegisterProcess(model, proc.Execute); err != nil {
+			return nil, fmt.Errorf("registering workflow process %s: %w", model, err)
+		}
+	}
+	if err := o.Workflows.RegisterProcess("hydrostats", hydroStatsProcess); err != nil {
+		return nil, fmt.Errorf("registering hydrostats: %w", err)
+	}
+
+	o.populateAssets()
+	return o, nil
+}
+
+// populateAssets fills the REST store with the observatory's resources so
+// the portal's asset API reflects reality.
+func (o *Observatory) populateAssets() {
+	for _, c := range o.Catchments.All() {
+		// Registry-derived attributes only; derived terrain products are
+		// exposed through dedicated endpoints.
+		_ = o.Assets.Put(rest.Resource{ID: c.ID, Kind: "catchments", Attributes: map[string]any{
+			"name": c.Name, "region": c.Region, "areaKm2": c.AreaKM2,
+			"lat": c.Outlet.Lat, "lon": c.Outlet.Lon,
+		}})
+	}
+	for _, s := range o.Network.Sensors() {
+		_ = o.Assets.Put(rest.Resource{ID: s.ID, Kind: "sensors", Attributes: map[string]any{
+			"kind": s.Kind.String(), "unit": s.Kind.Unit(), "catchment": s.CatchmentID,
+			"lat": s.Location.Lat, "lon": s.Location.Lon,
+			"intervalSeconds": s.Interval.Seconds(),
+		}})
+	}
+	for _, e := range o.Library.List() {
+		_ = o.Assets.Put(rest.Resource{ID: e.Image.ID, Kind: "models", Attributes: map[string]any{
+			"name": e.Image.Name, "kind": e.Image.Kind.String(),
+			"model": e.ModelName, "catchment": e.CatchmentID,
+			"version": e.Version, "description": e.Description,
+		}})
+	}
+	for _, sc := range scenario.All() {
+		_ = o.Assets.Put(rest.Resource{ID: sc.ID, Kind: "scenarios", Attributes: map[string]any{
+			"name": sc.Name, "description": sc.Description,
+		}})
+	}
+}
+
+// Start launches the background management loops (LB, sensors).
+func (o *Observatory) Start() {
+	o.Network.Start()
+	o.LB.Start()
+}
+
+// Stop halts the background loops and waits for async WPS executions.
+func (o *Observatory) Stop() {
+	o.LB.Stop()
+	o.Network.Stop()
+	o.WPS.Wait()
+}
+
+// Forcing returns the catchment's standard forcing record (hourly rain +
+// Oudin PET over ForcingDays), generated deterministically from the
+// catchment's climate seed and cached.
+func (o *Observatory) Forcing(catchmentID string) (hydro.Forcing, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if f, ok := o.forcings[catchmentID]; ok {
+		return f, nil
+	}
+	c, ok := o.Catchments.Get(catchmentID)
+	if !ok {
+		return hydro.Forcing{}, fmt.Errorf("catchment %q: %w", catchmentID, ErrBadConfig)
+	}
+	gen, err := weather.NewGenerator(weather.UKUplandClimate(), c.ClimateSeed)
+	if err != nil {
+		return hydro.Forcing{}, fmt.Errorf("building generator: %w", err)
+	}
+	hours := o.cfg.ForcingDays * 24
+	rain, err := gen.Rainfall(o.cfg.Start, time.Hour, hours)
+	if err != nil {
+		return hydro.Forcing{}, fmt.Errorf("generating rainfall: %w", err)
+	}
+	temp, err := gen.Temperature(o.cfg.Start, time.Hour, hours)
+	if err != nil {
+		return hydro.Forcing{}, fmt.Errorf("generating temperature: %w", err)
+	}
+	petSeries, err := pet.Oudin(temp, c.Outlet.Lat)
+	if err != nil {
+		return hydro.Forcing{}, fmt.Errorf("computing PET: %w", err)
+	}
+	f := hydro.Forcing{Rain: rain, PET: petSeries}
+	o.forcings[catchmentID] = f
+	return f, nil
+}
+
+// UploadDataset stores a user-provided hourly rainfall series under an
+// ID — the "scientists want to ... upload data, use it to run predictive
+// models" requirement (Section III-A). The series must be hourly,
+// non-empty and non-negative.
+func (o *Observatory) UploadDataset(id string, s *timeseries.Series) error {
+	if id == "" {
+		return fmt.Errorf("empty dataset id: %w", ErrBadConfig)
+	}
+	if s == nil || s.Len() == 0 {
+		return fmt.Errorf("dataset %q is empty: %w", id, ErrBadConfig)
+	}
+	if s.Step() != time.Hour {
+		return fmt.Errorf("dataset %q step %v, want hourly: %w", id, s.Step(), ErrBadConfig)
+	}
+	for i := 0; i < s.Len(); i++ {
+		if v := s.At(i); v < 0 || math.IsNaN(v) {
+			return fmt.Errorf("dataset %q sample %d = %v: %w", id, i, v, ErrBadConfig)
+		}
+	}
+	o.mu.Lock()
+	o.uploads[id] = s.Clone()
+	o.mu.Unlock()
+	_ = o.Assets.Put(rest.Resource{ID: id, Kind: "datasets", Attributes: map[string]any{
+		"kind": "uploadedRainfall", "samples": s.Len(),
+		"start": s.Start().Format(time.RFC3339),
+	}})
+	return nil
+}
+
+// Dataset returns an uploaded dataset by ID.
+func (o *Observatory) Dataset(id string) (*timeseries.Series, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	s, ok := o.uploads[id]
+	if !ok {
+		return nil, fmt.Errorf("dataset %q: %w", id, ErrBadConfig)
+	}
+	return s.Clone(), nil
+}
+
+// RunRequest describes one on-demand model run — what the LEFT widget
+// submits when the user presses "run".
+type RunRequest struct {
+	// CatchmentID selects the catchment ("morland").
+	CatchmentID string `json:"catchment"`
+	// ScenarioID selects the land-use preset; empty means baseline.
+	ScenarioID string `json:"scenario,omitempty"`
+	// Model is "topmodel" or "fuse".
+	Model string `json:"model"`
+	// TOPMODELParams overrides the calibrated parameters (the widget's
+	// sliders); nil uses the scenario-adjusted defaults.
+	TOPMODELParams *topmodel.Params `json:"topmodelParams,omitempty"`
+	// RainDatasetID substitutes an uploaded rainfall dataset for the
+	// catchment's synthetic record (PET is taken from the overlap of the
+	// standard forcing).
+	RainDatasetID string `json:"rainDataset,omitempty"`
+	// Storm optionally injects a design storm.
+	Storm *weather.DesignStorm `json:"storm,omitempty"`
+	// StormAtHours places the storm, in hours after the forcing start.
+	StormAtHours int `json:"stormAtHours,omitempty"`
+}
+
+// RunResult is the widget-facing output of a model run.
+type RunResult struct {
+	// Discharge is the simulated hydrograph in mm/step.
+	Discharge *timeseries.Series `json:"discharge"`
+	// DischargeM3S is the hydrograph in cubic metres per second.
+	DischargeM3S *timeseries.Series `json:"dischargeM3s"`
+	// PeakMM is the peak flow (mm/step); PeakAt its time.
+	PeakMM float64   `json:"peakMm"`
+	PeakAt time.Time `json:"peakAt"`
+	// VolumeMM is total flow volume over the simulation.
+	VolumeMM float64 `json:"volumeMm"`
+	// RunoffRatio is flow volume / rainfall volume.
+	RunoffRatio float64 `json:"runoffRatio"`
+	// StormPeakMM and StormPeakAt summarise the 48-hour window following
+	// an injected design storm — the number the LEFT widget compares
+	// across scenarios. Zero when no storm was injected.
+	StormPeakMM float64   `json:"stormPeakMm,omitempty"`
+	StormPeakAt time.Time `json:"stormPeakAt,omitempty"`
+	// Model and Scenario echo the request.
+	Model    string `json:"model"`
+	Scenario string `json:"scenario"`
+}
+
+// DriestStormWindow returns the hour offset (from the forcing start) at
+// the end of the driest windowDays stretch of the catchment's forcing
+// record — the placement at which an injected design storm best isolates
+// land-use effects (on saturated ground all scenarios converge because
+// runoff approaches rainfall).
+func (o *Observatory) DriestStormWindow(catchmentID string, windowDays int) (int, error) {
+	if windowDays < 1 {
+		return 0, fmt.Errorf("windowDays %d: %w", windowDays, ErrBadConfig)
+	}
+	f, err := o.Forcing(catchmentID)
+	if err != nil {
+		return 0, err
+	}
+	window := windowDays * 24
+	if window+48 >= f.Rain.Len() {
+		return 0, fmt.Errorf("forcing record too short for %d-day window: %w", windowDays, ErrBadConfig)
+	}
+	bestStart, bestSum := window, math.Inf(1)
+	for start := window; start+48 < f.Rain.Len(); start += 24 {
+		sum := 0.0
+		for i := start - window; i < start; i++ {
+			sum += f.Rain.At(i)
+		}
+		if sum < bestSum {
+			bestSum, bestStart = sum, start
+		}
+	}
+	return bestStart, nil
+}
+
+// RunModel executes a model run on demand. This is the computation the
+// WPS processes and the portal's modelling widget invoke.
+func (o *Observatory) RunModel(req RunRequest) (*RunResult, error) {
+	c, ok := o.Catchments.Get(req.CatchmentID)
+	if !ok {
+		return nil, fmt.Errorf("catchment %q: %w", req.CatchmentID, ErrBadConfig)
+	}
+	scnID := req.ScenarioID
+	if scnID == "" {
+		scnID = scenario.Baseline
+	}
+	scn, err := scenario.Get(scnID)
+	if err != nil {
+		return nil, err
+	}
+	forcing, err := o.Forcing(req.CatchmentID)
+	if err != nil {
+		return nil, err
+	}
+	if req.RainDatasetID != "" {
+		rain, err := o.Dataset(req.RainDatasetID)
+		if err != nil {
+			return nil, err
+		}
+		aligned, err := timeseries.Align(time.Hour,
+			[]*timeseries.Series{rain, forcing.PET},
+			[]timeseries.AggFunc{timeseries.AggSum, timeseries.AggSum})
+		if err != nil {
+			return nil, fmt.Errorf("aligning uploaded rain with PET: %w", err)
+		}
+		forcing = hydro.Forcing{Rain: aligned[0], PET: aligned[1]}
+	}
+	if req.Storm != nil {
+		at := o.cfg.Start.Add(time.Duration(req.StormAtHours) * time.Hour)
+		rain, err := req.Storm.Inject(forcing.Rain, at)
+		if err != nil {
+			return nil, fmt.Errorf("injecting storm: %w", err)
+		}
+		forcing = hydro.Forcing{Rain: rain, PET: forcing.PET}
+	}
+
+	var q *timeseries.Series
+	switch req.Model {
+	case "topmodel":
+		params := topmodel.DefaultParams()
+		if req.TOPMODELParams != nil {
+			params = *req.TOPMODELParams
+		}
+		params = scn.ApplyTOPMODEL(params)
+		ti, err := c.TopoIndexDistribution()
+		if err != nil {
+			return nil, fmt.Errorf("deriving terrain: %w", err)
+		}
+		m, err := topmodel.New(params, ti)
+		if err != nil {
+			return nil, err
+		}
+		q, err = m.Run(forcing)
+		if err != nil {
+			return nil, err
+		}
+	case "fuse":
+		params := scn.ApplyFUSE(fuse.DefaultParams())
+		decs := []fuse.Decisions{
+			{Upper: fuse.UpperSingle, Perc: fuse.PercFieldCap, Base: fuse.BaseLinear, Routing: fuse.RouteGammaUH},
+			{Upper: fuse.UpperTensionFree, Perc: fuse.PercWaterContent, Base: fuse.BasePower, Routing: fuse.RouteGammaUH},
+			{Upper: fuse.UpperTensionFree, Perc: fuse.PercFieldCap, Base: fuse.BaseParallel, Routing: fuse.RouteGammaUH},
+		}
+		ens, err := fuse.RunEnsemble(decs, params, forcing)
+		if err != nil {
+			return nil, err
+		}
+		q = ens.Mean
+	default:
+		return nil, fmt.Errorf("%q: %w", req.Model, ErrUnknownModel)
+	}
+
+	st := q.Summarise()
+	m3s, err := hydro.DischargeM3S(q, c.AreaKM2)
+	if err != nil {
+		return nil, err
+	}
+	rainVol := forcing.Rain.Summarise().Sum
+	ratio := 0.0
+	if rainVol > 0 {
+		ratio = st.Sum / rainVol
+	}
+	res := &RunResult{
+		Discharge:    q,
+		DischargeM3S: m3s,
+		PeakMM:       st.Max,
+		PeakAt:       q.TimeAt(st.ArgMax),
+		VolumeMM:     st.Sum,
+		RunoffRatio:  ratio,
+		Model:        req.Model,
+		Scenario:     scnID,
+	}
+	if req.Storm != nil {
+		stormAt := o.cfg.Start.Add(time.Duration(req.StormAtHours) * time.Hour)
+		win, err := q.Slice(stormAt, stormAt.Add(48*time.Hour))
+		if err == nil && win.Len() > 0 {
+			wst := win.Summarise()
+			res.StormPeakMM = wst.Max
+			res.StormPeakAt = win.TimeAt(wst.ArgMax)
+		}
+	}
+	return res, nil
+}
+
+// QualityResult is the water-quality widget output: pollutant export
+// under a scenario, plus the baseline for comparison.
+type QualityResult struct {
+	// Scenario echoes the request.
+	Scenario string `json:"scenario"`
+	// Loads are the scenario's exports over the simulation period.
+	Loads quality.Loads `json:"loads"`
+	// BaselineLoads are the same catchment and forcing under baseline
+	// land use.
+	BaselineLoads quality.Loads `json:"baselineLoads"`
+	// SedimentChange, PhosphorusChange, NitrateChange are fractional
+	// changes vs baseline (+0.5 = +50%).
+	SedimentChange   float64 `json:"sedimentChange"`
+	PhosphorusChange float64 `json:"phosphorusChange"`
+	NitrateChange    float64 `json:"nitrateChange"`
+}
+
+// RunQuality answers the water-quality storyboard from Section VI: run
+// the hydrology under a scenario, export sediment and nutrients, and
+// compare with baseline land use.
+func (o *Observatory) RunQuality(catchmentID, scenarioID string) (*QualityResult, error) {
+	c, ok := o.Catchments.Get(catchmentID)
+	if !ok {
+		return nil, fmt.Errorf("catchment %q: %w", catchmentID, ErrBadConfig)
+	}
+	if scenarioID == "" {
+		scenarioID = scenario.Baseline
+	}
+	scn, err := scenario.Get(scenarioID)
+	if err != nil {
+		return nil, err
+	}
+	loadsFor := func(sc scenario.Scenario) (quality.Loads, error) {
+		run, err := o.RunModel(RunRequest{
+			CatchmentID: catchmentID, Model: "topmodel", ScenarioID: sc.ID,
+		})
+		if err != nil {
+			return quality.Loads{}, err
+		}
+		loads, err := quality.Export(run.Discharge, c.AreaKM2, sc.ApplyQuality(quality.DefaultParams()))
+		if err != nil {
+			return quality.Loads{}, err
+		}
+		return *loads, nil
+	}
+	base, err := scenario.Get(scenario.Baseline)
+	if err != nil {
+		return nil, err
+	}
+	baseLoads, err := loadsFor(base)
+	if err != nil {
+		return nil, fmt.Errorf("baseline quality run: %w", err)
+	}
+	scnLoads := baseLoads
+	if scenarioID != scenario.Baseline {
+		scnLoads, err = loadsFor(scn)
+		if err != nil {
+			return nil, fmt.Errorf("scenario quality run: %w", err)
+		}
+	}
+	change := func(now, was float64) float64 {
+		if was == 0 {
+			return 0
+		}
+		return now/was - 1
+	}
+	return &QualityResult{
+		Scenario:         scenarioID,
+		Loads:            scnLoads,
+		BaselineLoads:    baseLoads,
+		SedimentChange:   change(scnLoads.SedimentTonnes, baseLoads.SedimentTonnes),
+		PhosphorusChange: change(scnLoads.PhosphorusKg, baseLoads.PhosphorusKg),
+		NitrateChange:    change(scnLoads.NitrateKg, baseLoads.NitrateKg),
+	}, nil
+}
+
+// modelProcess adapts RunModel to the WPS Process interface.
+type modelProcess struct {
+	obs   *Observatory
+	model string
+}
+
+var _ wps.Process = (*modelProcess)(nil)
+
+func (p *modelProcess) Identifier() string { return p.model }
+
+func (p *modelProcess) Title() string {
+	if p.model == "topmodel" {
+		return "TOPMODEL rainfall-runoff simulation"
+	}
+	return "FUSE ensemble rainfall-runoff simulation"
+}
+
+func (p *modelProcess) Abstract() string {
+	return "Runs " + p.model + " for a LEFT catchment under a land-use scenario and returns the flood hydrograph."
+}
+
+func (p *modelProcess) Inputs() []wps.ParamDesc {
+	return []wps.ParamDesc{
+		{Identifier: "catchment", Title: "Catchment ID", DataType: "string"},
+		{Identifier: "scenario", Title: "Scenario ID", DataType: "string", Optional: true},
+		{Identifier: "stormDepthMm", Title: "Design storm depth (mm)", DataType: "double", Optional: true},
+		{Identifier: "stormHours", Title: "Design storm duration (h)", DataType: "integer", Optional: true},
+		{Identifier: "stormAtHours", Title: "Storm start (h after record start)", DataType: "integer", Optional: true},
+	}
+}
+
+func (p *modelProcess) Outputs() []wps.ParamDesc {
+	return []wps.ParamDesc{
+		{Identifier: "hydrograph", Title: "Flot-encoded discharge series", DataType: "string"},
+		{Identifier: "peakMm", Title: "Peak flow (mm/h)", DataType: "double"},
+		{Identifier: "volumeMm", Title: "Flow volume (mm)", DataType: "double"},
+	}
+}
+
+func (p *modelProcess) Execute(inputs map[string]string) (map[string]string, error) {
+	req := RunRequest{
+		CatchmentID: inputs["catchment"],
+		ScenarioID:  inputs["scenario"],
+		Model:       p.model,
+	}
+	if d := inputs["stormDepthMm"]; d != "" {
+		depth, err := strconv.ParseFloat(d, 64)
+		if err != nil {
+			return nil, fmt.Errorf("stormDepthMm: %w", err)
+		}
+		hours := 6
+		if h := inputs["stormHours"]; h != "" {
+			hours, err = strconv.Atoi(h)
+			if err != nil {
+				return nil, fmt.Errorf("stormHours: %w", err)
+			}
+		}
+		req.Storm = &weather.DesignStorm{
+			TotalDepthMM: depth,
+			Duration:     time.Duration(hours) * time.Hour,
+			PeakFraction: 0.4,
+		}
+		if at := inputs["stormAtHours"]; at != "" {
+			req.StormAtHours, err = strconv.Atoi(at)
+			if err != nil {
+				return nil, fmt.Errorf("stormAtHours: %w", err)
+			}
+		}
+	}
+	res, err := p.obs.RunModel(req)
+	if err != nil {
+		return nil, err
+	}
+	flot, err := res.Discharge.FlotJSON()
+	if err != nil {
+		return nil, fmt.Errorf("encoding hydrograph: %w", err)
+	}
+	return map[string]string{
+		"hydrograph": string(flot),
+		"peakMm":     strconv.FormatFloat(res.PeakMM, 'g', -1, 64),
+		"volumeMm":   strconv.FormatFloat(res.VolumeMM, 'g', -1, 64),
+	}, nil
+}
+
+// InfraMetrics is an operational snapshot of the observatory — the
+// monitoring view an operator (or the Admin UI the paper's team used)
+// watches.
+type InfraMetrics struct {
+	PrivateInstances int     `json:"privateInstances"`
+	PublicInstances  int     `json:"publicInstances"`
+	BootingInstances int     `json:"bootingInstances"`
+	ActiveSessions   int     `json:"activeSessions"`
+	PendingSessions  int     `json:"pendingSessions"`
+	ClosedSessions   int     `json:"closedSessions"`
+	PublicCost       float64 `json:"publicCost"`
+	LBTicks          int     `json:"lbTicks"`
+	LBReplacements   int     `json:"lbReplacements"`
+	DroppedUpdates   int     `json:"droppedUpdates"`
+	Sensors          int     `json:"sensors"`
+	WorkflowRuns     int     `json:"workflowRuns"`
+}
+
+// Metrics returns the current operational snapshot.
+func (o *Observatory) Metrics() InfraMetrics {
+	m := InfraMetrics{
+		PublicCost:     o.Public.CostAccrued(),
+		LBTicks:        o.LB.Ticks(),
+		LBReplacements: o.LB.Replaced(),
+		DroppedUpdates: o.Broker.DroppedUpdates(),
+		Sensors:        len(o.Network.Sensors()),
+		WorkflowRuns:   len(o.Workflows.Runs()),
+	}
+	for _, in := range o.Multi.Instances() {
+		if in.State() == cloud.StateBooting {
+			m.BootingInstances++
+		}
+		switch in.Kind() {
+		case cloud.Private:
+			m.PrivateInstances++
+		case cloud.Public:
+			m.PublicInstances++
+		}
+	}
+	for _, s := range o.Broker.Sessions() {
+		switch s.State {
+		case broker.Active:
+			m.ActiveSessions++
+		case broker.Pending:
+			m.PendingSessions++
+		case broker.Closed:
+			m.ClosedSessions++
+		}
+	}
+	return m
+}
+
+// LowFlowResult is the drought widget output: the low-flow report under
+// a scenario, with the baseline for comparison.
+type LowFlowResult struct {
+	Scenario string          `json:"scenario"`
+	Summary  lowflow.Summary `json:"summary"`
+	Baseline lowflow.Summary `json:"baseline"`
+}
+
+// RunLowFlow answers the drought-side questions (the paper's motivation
+// cites droughts alongside floods): flow-duration quantiles, baseflow
+// index and sub-Q90 drought spells under a land-use scenario.
+func (o *Observatory) RunLowFlow(catchmentID, scenarioID string) (*LowFlowResult, error) {
+	if scenarioID == "" {
+		scenarioID = scenario.Baseline
+	}
+	if _, err := scenario.Get(scenarioID); err != nil {
+		return nil, err
+	}
+	analyseFor := func(sc string) (lowflow.Summary, error) {
+		run, err := o.RunModel(RunRequest{CatchmentID: catchmentID, Model: "topmodel", ScenarioID: sc})
+		if err != nil {
+			return lowflow.Summary{}, err
+		}
+		s, err := lowflow.Analyse(run.Discharge)
+		if err != nil {
+			return lowflow.Summary{}, err
+		}
+		return *s, nil
+	}
+	base, err := analyseFor(scenario.Baseline)
+	if err != nil {
+		return nil, fmt.Errorf("baseline low-flow run: %w", err)
+	}
+	summary := base
+	if scenarioID != scenario.Baseline {
+		summary, err = analyseFor(scenarioID)
+		if err != nil {
+			return nil, fmt.Errorf("scenario low-flow run: %w", err)
+		}
+	}
+	return &LowFlowResult{Scenario: scenarioID, Summary: summary, Baseline: base}, nil
+}
+
+// hydroStatsProcess summarises a Flot-encoded hydrograph — the generic
+// post-processing node workflow compositions chain after a model run.
+func hydroStatsProcess(inputs map[string]string) (map[string]string, error) {
+	raw := inputs["hydrograph"]
+	if raw == "" {
+		return nil, fmt.Errorf("hydrostats: missing hydrograph input")
+	}
+	ir, err := timeseries.ParseFlotJSON([]byte(raw))
+	if err != nil {
+		return nil, fmt.Errorf("hydrostats: %w", err)
+	}
+	if ir.Len() == 0 {
+		return nil, fmt.Errorf("hydrostats: empty hydrograph")
+	}
+	peak, sum := 0.0, 0.0
+	for _, o := range ir.Observations() {
+		if o.Value > peak {
+			peak = o.Value
+		}
+		sum += o.Value
+	}
+	return map[string]string{
+		"peakMm":   strconv.FormatFloat(peak, 'g', -1, 64),
+		"volumeMm": strconv.FormatFloat(sum, 'g', -1, 64),
+		"meanMm":   strconv.FormatFloat(sum/float64(ir.Len()), 'g', -1, 64),
+	}, nil
+}

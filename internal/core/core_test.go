@@ -1,0 +1,514 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"evop/internal/clock"
+	"evop/internal/hydro/topmodel"
+	"evop/internal/scenario"
+	"evop/internal/timeseries"
+	"evop/internal/weather"
+)
+
+var (
+	epoch = time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC)
+	// epochStart is DefaultConfig's forcing start.
+	epochStart = time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func newObs(t *testing.T) (*Observatory, *clock.Simulated) {
+	t.Helper()
+	clk := clock.NewSimulated(epoch)
+	cfg := DefaultConfig(clk)
+	cfg.ForcingDays = 30 // keep tests fast
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return o, clk
+}
+
+func TestConfigValidate(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	base := DefaultConfig(clk)
+	if err := base.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"nil clock", func(c *Config) { c.Clock = nil }},
+		{"zero start", func(c *Config) { c.Start = time.Time{} }},
+		{"no private capacity", func(c *Config) { c.PrivateCapacity = 0 }},
+		{"no sessions", func(c *Config) { c.Flavor.MaxSessions = 0 }},
+		{"no interval", func(c *Config) { c.LBInterval = 0 }},
+		{"short forcing", func(c *Config) { c.ForcingDays = 1 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+				t.Fatalf("New err = %v, want ErrBadConfig", err)
+			}
+		})
+	}
+}
+
+func TestObservatoryAssembly(t *testing.T) {
+	o, _ := newObs(t)
+	if got := len(o.Catchments.All()); got != 3 {
+		t.Fatalf("catchments = %d", got)
+	}
+	if got := len(o.Network.Sensors()); got != 15 {
+		t.Fatalf("sensors = %d, want 15 (5 per catchment)", got)
+	}
+	// Library: 2 bundles per catchment + 1 incubator.
+	if got := len(o.Library.List()); got != 7 {
+		t.Fatalf("library entries = %d, want 7", got)
+	}
+	if got := o.WPS.Processes(); len(got) != 2 {
+		t.Fatalf("WPS processes = %v", got)
+	}
+	// Assets populated.
+	if got := len(o.Assets.List("catchments")); got != 3 {
+		t.Fatalf("catchment assets = %d", got)
+	}
+	if got := len(o.Assets.List("sensors")); got != 15 {
+		t.Fatalf("sensor assets = %d", got)
+	}
+	if got := len(o.Assets.List("scenarios")); got != 4 {
+		t.Fatalf("scenario assets = %d", got)
+	}
+	if got := len(o.Assets.List("models")); got != 7 {
+		t.Fatalf("model assets = %d", got)
+	}
+}
+
+func TestStartStopLifecycle(t *testing.T) {
+	o, clk := newObs(t)
+	o.Start()
+	clk.Advance(20 * time.Minute) // past the slowest sensor interval
+	if o.LB.Ticks() == 0 {
+		t.Fatal("LB never ticked")
+	}
+	if _, err := o.Network.Latest("morland-level-1"); err != nil {
+		t.Fatalf("sensors not sampling: %v", err)
+	}
+	o.Stop()
+	ticks := o.LB.Ticks()
+	clk.Advance(time.Minute)
+	if o.LB.Ticks() != ticks {
+		t.Fatal("LB kept ticking after Stop")
+	}
+}
+
+func TestForcingCachedAndDeterministic(t *testing.T) {
+	o, _ := newObs(t)
+	f1, err := o.Forcing("morland")
+	if err != nil {
+		t.Fatalf("Forcing: %v", err)
+	}
+	if f1.Rain.Len() != 30*24 {
+		t.Fatalf("forcing length = %d", f1.Rain.Len())
+	}
+	if err := f1.Validate(); err != nil {
+		t.Fatalf("forcing invalid: %v", err)
+	}
+	f2, _ := o.Forcing("morland")
+	if f1.Rain != f2.Rain {
+		t.Fatal("forcing not cached (new series allocated)")
+	}
+	// Distinct catchments get distinct climates.
+	ft, err := o.Forcing("tarland")
+	if err != nil {
+		t.Fatalf("Forcing tarland: %v", err)
+	}
+	if ft.Rain.Summarise().Sum == f1.Rain.Summarise().Sum {
+		t.Fatal("catchments share identical rainfall (suspicious)")
+	}
+	if _, err := o.Forcing("thames"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unknown catchment err = %v", err)
+	}
+}
+
+func TestRunModelTOPMODEL(t *testing.T) {
+	o, _ := newObs(t)
+	res, err := o.RunModel(RunRequest{CatchmentID: "morland", Model: "topmodel"})
+	if err != nil {
+		t.Fatalf("RunModel: %v", err)
+	}
+	if res.Discharge.Len() != 30*24 {
+		t.Fatalf("discharge length = %d", res.Discharge.Len())
+	}
+	if res.PeakMM <= 0 || res.VolumeMM <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.RunoffRatio <= 0 || res.RunoffRatio > 1.3 {
+		t.Fatalf("runoff ratio = %v", res.RunoffRatio)
+	}
+	if res.Scenario != scenario.Baseline || res.Model != "topmodel" {
+		t.Fatalf("echo = %s/%s", res.Model, res.Scenario)
+	}
+	// m3/s conversion is consistent.
+	if res.DischargeM3S.Len() != res.Discharge.Len() {
+		t.Fatal("m3/s series length differs")
+	}
+}
+
+func TestRunModelScenarioOrdering(t *testing.T) {
+	o, _ := newObs(t)
+	storm := &weather.DesignStorm{TotalDepthMM: 60, Duration: 6 * time.Hour, PeakFraction: 0.4}
+	// Place the storm at the end of the driest 5-day stretch so the
+	// catchment is not already fully saturated — on saturated ground all
+	// land-use scenarios converge (runoff ≈ rainfall), which is physical
+	// but uninformative.
+	f, err := o.Forcing("morland")
+	if err != nil {
+		t.Fatalf("Forcing: %v", err)
+	}
+	const window = 5 * 24
+	bestStart, bestSum := window, 1e18
+	for start := window; start+48 < f.Rain.Len(); start += 24 {
+		sum := 0.0
+		for i := start - window; i < start; i++ {
+			sum += f.Rain.At(i)
+		}
+		if sum < bestSum {
+			bestSum, bestStart = sum, start
+		}
+	}
+	stormAtHours := bestStart
+	stormAt := epochStart.Add(time.Duration(stormAtHours) * time.Hour)
+	peaks := make(map[string]float64)
+	for _, sc := range []string{scenario.Baseline, scenario.Afforestation, scenario.Compaction} {
+		res, err := o.RunModel(RunRequest{
+			CatchmentID: "morland", Model: "topmodel", ScenarioID: sc,
+			Storm: storm, StormAtHours: stormAtHours,
+		})
+		if err != nil {
+			t.Fatalf("RunModel %s: %v", sc, err)
+		}
+		// Compare the response to the injected storm specifically, not
+		// whichever natural event happens to dominate the record.
+		window, err := res.Discharge.Slice(stormAt, stormAt.Add(48*time.Hour))
+		if err != nil {
+			t.Fatalf("Slice: %v", err)
+		}
+		peaks[sc] = window.Summarise().Max
+	}
+	if !(peaks[scenario.Afforestation] < peaks[scenario.Baseline] &&
+		peaks[scenario.Baseline] < peaks[scenario.Compaction]) {
+		t.Fatalf("peak ordering wrong: %+v", peaks)
+	}
+}
+
+func TestRunModelFUSE(t *testing.T) {
+	o, _ := newObs(t)
+	res, err := o.RunModel(RunRequest{CatchmentID: "tarland", Model: "fuse"})
+	if err != nil {
+		t.Fatalf("RunModel fuse: %v", err)
+	}
+	if res.VolumeMM <= 0 {
+		t.Fatalf("fuse volume = %v", res.VolumeMM)
+	}
+}
+
+func TestRunModelErrors(t *testing.T) {
+	o, _ := newObs(t)
+	if _, err := o.RunModel(RunRequest{CatchmentID: "thames", Model: "topmodel"}); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unknown catchment err = %v", err)
+	}
+	if _, err := o.RunModel(RunRequest{CatchmentID: "morland", Model: "hec-ras"}); !errors.Is(err, ErrUnknownModel) {
+		t.Fatalf("unknown model err = %v", err)
+	}
+	if _, err := o.RunModel(RunRequest{CatchmentID: "morland", Model: "topmodel", ScenarioID: "urban"}); !errors.Is(err, scenario.ErrUnknown) {
+		t.Fatalf("unknown scenario err = %v", err)
+	}
+	bad := topmodel.DefaultParams()
+	bad.M = -1
+	if _, err := o.RunModel(RunRequest{CatchmentID: "morland", Model: "topmodel", TOPMODELParams: &bad}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestWPSProcessExecutes(t *testing.T) {
+	o, _ := newObs(t)
+	p := &modelProcess{obs: o, model: "topmodel"}
+	out, err := p.Execute(map[string]string{
+		"catchment": "morland", "scenario": "compaction",
+		"stormDepthMm": "50", "stormHours": "6", "stormAtHours": "240",
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if out["hydrograph"] == "" || out["peakMm"] == "" || out["volumeMm"] == "" {
+		t.Fatalf("outputs = %v", out)
+	}
+	if len(p.Inputs()) == 0 || len(p.Outputs()) == 0 || p.Title() == "" || p.Abstract() == "" {
+		t.Fatal("process metadata empty")
+	}
+}
+
+func TestWPSProcessInputErrors(t *testing.T) {
+	o, _ := newObs(t)
+	p := &modelProcess{obs: o, model: "topmodel"}
+	bad := []map[string]string{
+		{"catchment": "morland", "stormDepthMm": "abc"},
+		{"catchment": "morland", "stormDepthMm": "10", "stormHours": "x"},
+		{"catchment": "morland", "stormDepthMm": "10", "stormAtHours": "x"},
+		{"catchment": "ghost"},
+	}
+	for i, inputs := range bad {
+		if _, err := p.Execute(inputs); err == nil {
+			t.Fatalf("case %d: want error", i)
+		}
+	}
+}
+
+func TestRunQuality(t *testing.T) {
+	o, _ := newObs(t)
+	res, err := o.RunQuality("morland", "compaction")
+	if err != nil {
+		t.Fatalf("RunQuality: %v", err)
+	}
+	if res.Scenario != "compaction" {
+		t.Fatalf("scenario = %s", res.Scenario)
+	}
+	if res.Loads.SedimentTonnes <= 0 || res.BaselineLoads.SedimentTonnes <= 0 {
+		t.Fatalf("loads = %+v", res)
+	}
+	if res.SedimentChange <= 0 || res.PhosphorusChange <= 0 {
+		t.Fatalf("compaction should raise sediment and P: %+v", res)
+	}
+
+	aff, err := o.RunQuality("morland", "afforestation")
+	if err != nil {
+		t.Fatalf("RunQuality afforestation: %v", err)
+	}
+	if aff.SedimentChange >= 0 {
+		t.Fatalf("afforestation sediment change = %v, want negative", aff.SedimentChange)
+	}
+
+	// Baseline vs itself is zero change; empty scenario defaults to it.
+	base, err := o.RunQuality("morland", "")
+	if err != nil {
+		t.Fatalf("RunQuality baseline: %v", err)
+	}
+	if base.SedimentChange != 0 || base.PhosphorusChange != 0 || base.NitrateChange != 0 {
+		t.Fatalf("baseline change = %+v, want zero", base)
+	}
+}
+
+func TestRunQualityErrors(t *testing.T) {
+	o, _ := newObs(t)
+	if _, err := o.RunQuality("thames", "baseline"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unknown catchment err = %v", err)
+	}
+	if _, err := o.RunQuality("morland", "urban"); !errors.Is(err, scenario.ErrUnknown) {
+		t.Fatalf("unknown scenario err = %v", err)
+	}
+}
+
+func TestDriestStormWindow(t *testing.T) {
+	o, _ := newObs(t)
+	hours, err := o.DriestStormWindow("morland", 5)
+	if err != nil {
+		t.Fatalf("DriestStormWindow: %v", err)
+	}
+	if hours < 5*24 || hours >= 30*24 {
+		t.Fatalf("window at hour %d out of range", hours)
+	}
+	// The chosen window really is the driest among candidates.
+	f, _ := o.Forcing("morland")
+	sumAt := func(start int) float64 {
+		s := 0.0
+		for i := start - 5*24; i < start; i++ {
+			s += f.Rain.At(i)
+		}
+		return s
+	}
+	best := sumAt(hours)
+	for start := 5 * 24; start+48 < f.Rain.Len(); start += 24 {
+		if sumAt(start) < best-1e-9 {
+			t.Fatalf("window at %d (%.1f mm) beaten by %d (%.1f mm)", hours, best, start, sumAt(start))
+		}
+	}
+	if _, err := o.DriestStormWindow("thames", 5); err == nil {
+		t.Fatal("unknown catchment accepted")
+	}
+	if _, err := o.DriestStormWindow("morland", 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("bad window err = %v", err)
+	}
+	if _, err := o.DriestStormWindow("morland", 100); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("oversized window err = %v", err)
+	}
+}
+
+func TestObservatorySoak(t *testing.T) {
+	// A day in the life of the observatory: users come and go while the
+	// sensor network samples and the LB manages capacity. At every
+	// checkpoint the operational invariants must hold.
+	o, clk := newObs(t)
+	o.Start()
+	defer o.Stop()
+
+	rng := rand.New(rand.NewSource(4))
+	var open []string
+	for step := 0; step < 24*6; step++ { // 24h in 10-minute steps
+		clk.Advance(10 * time.Minute)
+		switch rng.Intn(5) {
+		case 0, 1:
+			s, err := o.Broker.Connect("soak", "topmodel")
+			if err != nil {
+				t.Fatalf("step %d connect: %v", step, err)
+			}
+			open = append(open, s.ID)
+		case 2:
+			if len(open) > 0 {
+				i := rng.Intn(len(open))
+				if err := o.Broker.Disconnect(open[i]); err != nil {
+					t.Fatalf("step %d disconnect: %v", step, err)
+				}
+				open = append(open[:i], open[i+1:]...)
+			}
+		}
+		if step%36 == 35 { // every 6 simulated hours, checkpoint
+			m := o.Metrics()
+			if m.ActiveSessions+m.PendingSessions < len(open) {
+				t.Fatalf("step %d: %d active + %d pending < %d open sessions",
+					step, m.ActiveSessions, m.PendingSessions, len(open))
+			}
+			if m.PrivateInstances+m.PublicInstances == 0 {
+				t.Fatalf("step %d: no instances alive", step)
+			}
+		}
+	}
+	// Converge and verify nothing was lost.
+	clk.Advance(30 * time.Minute)
+	m := o.Metrics()
+	if m.PendingSessions != 0 {
+		t.Fatalf("pending sessions after convergence: %d", m.PendingSessions)
+	}
+	if m.ActiveSessions != len(open) {
+		t.Fatalf("active = %d, open = %d", m.ActiveSessions, len(open))
+	}
+	// Sensors sampled all day: the river gauge has ~96 readings.
+	hist, err := o.Network.History("morland-level-1", epoch, epoch.Add(48*time.Hour))
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if len(hist) < 90 {
+		t.Fatalf("river gauge readings = %d, want ~96 over the day", len(hist))
+	}
+	// Public cost stays bounded (the LB reclaims idle public capacity).
+	if m.PublicCost > 5 {
+		t.Fatalf("public cost = %.2f, runaway leasing", m.PublicCost)
+	}
+}
+
+func TestRunLowFlow(t *testing.T) {
+	o, _ := newObs(t)
+	res, err := o.RunLowFlow("morland", "afforestation")
+	if err != nil {
+		t.Fatalf("RunLowFlow: %v", err)
+	}
+	if res.Scenario != "afforestation" {
+		t.Fatalf("scenario = %s", res.Scenario)
+	}
+	if res.Summary.Q95 <= 0 || res.Baseline.Q95 <= 0 {
+		t.Fatalf("Q95s = %v / %v", res.Summary.Q95, res.Baseline.Q95)
+	}
+	if res.Summary.BFI <= 0 || res.Summary.BFI > 1 {
+		t.Fatalf("BFI = %v", res.Summary.BFI)
+	}
+	// Empty scenario defaults to baseline and matches it.
+	base, err := o.RunLowFlow("morland", "")
+	if err != nil {
+		t.Fatalf("RunLowFlow baseline: %v", err)
+	}
+	if base.Summary.Q95 != base.Baseline.Q95 {
+		t.Fatal("baseline summary differs from itself")
+	}
+	if _, err := o.RunLowFlow("thames", ""); err == nil {
+		t.Fatal("unknown catchment accepted")
+	}
+	if _, err := o.RunLowFlow("morland", "urban"); !errors.Is(err, scenario.ErrUnknown) {
+		t.Fatalf("unknown scenario err = %v", err)
+	}
+}
+
+func TestUploadDatasetAndRun(t *testing.T) {
+	o, _ := newObs(t)
+	// A user uploads a two-week hourly record with one intense burst.
+	vals := make([]float64, 14*24)
+	for i := 100; i < 106; i++ {
+		vals[i] = 10
+	}
+	rain := timeseries.MustNew(epochStart, time.Hour, vals)
+	if err := o.UploadDataset("my-gauge", rain); err != nil {
+		t.Fatalf("UploadDataset: %v", err)
+	}
+	// The dataset is an asset now.
+	if _, err := o.Assets.Get("datasets", "my-gauge"); err != nil {
+		t.Fatalf("asset missing: %v", err)
+	}
+	got, err := o.Dataset("my-gauge")
+	if err != nil || got.Len() != rain.Len() {
+		t.Fatalf("Dataset = %v, %v", got, err)
+	}
+	// Mutating the returned copy must not corrupt the stored dataset.
+	got.SetAt(0, 999)
+	again, _ := o.Dataset("my-gauge")
+	if again.At(0) == 999 {
+		t.Fatal("Dataset returned shared storage")
+	}
+
+	res, err := o.RunModel(RunRequest{
+		CatchmentID: "morland", Model: "topmodel", RainDatasetID: "my-gauge",
+	})
+	if err != nil {
+		t.Fatalf("RunModel with upload: %v", err)
+	}
+	if res.Discharge.Len() != rain.Len() {
+		t.Fatalf("discharge length = %d, want %d (the uploaded record)", res.Discharge.Len(), rain.Len())
+	}
+	// The response peaks after the uploaded burst, not anywhere else.
+	if res.PeakAt.Before(epochStart.Add(100 * time.Hour)) {
+		t.Fatalf("peak at %v before the uploaded burst", res.PeakAt)
+	}
+}
+
+func TestUploadDatasetValidation(t *testing.T) {
+	o, _ := newObs(t)
+	hourly := timeseries.MustNew(epochStart, time.Hour, []float64{1, 2})
+	if err := o.UploadDataset("", hourly); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("empty id err = %v", err)
+	}
+	if err := o.UploadDataset("x", nil); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("nil err = %v", err)
+	}
+	daily := timeseries.MustNew(epochStart, 24*time.Hour, []float64{1, 2})
+	if err := o.UploadDataset("x", daily); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("daily step err = %v", err)
+	}
+	neg := timeseries.MustNew(epochStart, time.Hour, []float64{1, -2})
+	if err := o.UploadDataset("x", neg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative err = %v", err)
+	}
+	if _, err := o.Dataset("ghost"); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unknown dataset err = %v", err)
+	}
+	// Disjoint record (no PET overlap) fails at run time.
+	far := timeseries.MustNew(epochStart.AddDate(3, 0, 0), time.Hour, []float64{1, 2})
+	if err := o.UploadDataset("far", far); err != nil {
+		t.Fatalf("UploadDataset far: %v", err)
+	}
+	if _, err := o.RunModel(RunRequest{CatchmentID: "morland", Model: "topmodel", RainDatasetID: "far"}); err == nil {
+		t.Fatal("disjoint dataset accepted")
+	}
+}

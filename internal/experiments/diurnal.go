@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"evop/internal/broker"
+)
+
+// E18DiurnalElasticity reproduces the economic claim behind the hybrid
+// architecture (§III-B: cloud technologies "translate to low operational
+// costs at the infrastructure level"): portal load follows a day/night
+// cycle for three simulated days, and the elastic infrastructure tracks
+// it, leasing public capacity only for the daily peaks. The comparison
+// row shows what statically provisioning public capacity for the peak
+// would have cost.
+func E18DiurnalElasticity() (*Table, error) {
+	h, err := newInfra(2, 4, nil) // private: 2 instances x 4 sessions
+	if err != nil {
+		return nil, err
+	}
+	h.settle(2, 45*time.Second)
+
+	// Diurnal demand: quiet nights, 20-user midday peaks (private holds 8).
+	demand := func(hour int) int {
+		hod := hour % 24
+		base := 2.0
+		peak := 18.0
+		// Cosine day cycle peaking at 13:00.
+		frac := 0.5 * (1 + math.Cos(2*math.Pi*float64(hod-13)/24))
+		return int(base + peak*frac)
+	}
+
+	t := &Table{
+		ID:    "E18",
+		Title: "Diurnal load over 3 days: elastic public leasing vs peak-static provisioning",
+		Columns: []string{
+			"day", "peakUsers", "maxPublicInstances", "nightPublicInstances", "publicCost$",
+		},
+		Notes: []string{
+			"public instances appear for the midday peaks and are reclaimed overnight",
+			"static peak provisioning of the same public capacity would cost the full 72h of lease",
+		},
+	}
+
+	var sessions []broker.Session
+	var maxPublicPerDay [3]int
+	var nightPublic [3]int
+	var peakUsers [3]int
+	var maxPublicEver int
+	for hour := 0; hour < 72; hour++ {
+		day := hour / 24
+		want := demand(hour)
+		if want > peakUsers[day] {
+			peakUsers[day] = want
+		}
+		// Adjust the active session count toward the demand level.
+		for len(sessions) < want {
+			s, err := h.brk.Connect("diurnal", "topmodel")
+			if err != nil {
+				return nil, fmt.Errorf("hour %d connect: %w", hour, err)
+			}
+			sessions = append(sessions, s)
+		}
+		for len(sessions) > want {
+			last := sessions[len(sessions)-1]
+			if err := h.brk.Disconnect(last.ID); err != nil {
+				return nil, fmt.Errorf("hour %d disconnect: %w", hour, err)
+			}
+			sessions = sessions[:len(sessions)-1]
+		}
+		// One simulated hour passes with LB ticks every ~7.5 minutes.
+		h.settle(8, 450*time.Second)
+
+		_, pub := h.multi.CountByKind()
+		if pub > maxPublicPerDay[day] {
+			maxPublicPerDay[day] = pub
+		}
+		if pub > maxPublicEver {
+			maxPublicEver = pub
+		}
+		if hour%24 == 3 { // 03:00 sample
+			nightPublic[day] = pub
+		}
+	}
+
+	elasticCost := h.public.CostAccrued()
+	for day := 0; day < 3; day++ {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("day %d", day+1),
+			fmt.Sprintf("%d", peakUsers[day]),
+			fmt.Sprintf("%d", maxPublicPerDay[day]),
+			fmt.Sprintf("%d", nightPublic[day]),
+			"-",
+		})
+	}
+	// Static comparison: the peak public instance count leased for 72h at
+	// the same flavor rate (0.10 $/h).
+	staticCost := float64(maxPublicEver) * 72 * 0.10
+	t.Rows = append(t.Rows,
+		[]string{"elastic total", "-", "-", "-", fmt.Sprintf("%.2f", elasticCost)},
+		[]string{"static-at-peak total", "-", "-", "-", fmt.Sprintf("%.2f", staticCost)},
+	)
+
+	for day := 0; day < 3; day++ {
+		if maxPublicPerDay[day] == 0 {
+			return nil, fmt.Errorf("day %d never bursted: %w", day, ErrExperiment)
+		}
+		if nightPublic[day] >= maxPublicPerDay[day] {
+			return nil, fmt.Errorf("day %d public capacity not reclaimed overnight: %w", day, ErrExperiment)
+		}
+	}
+	if elasticCost >= staticCost {
+		return nil, fmt.Errorf("elastic cost %.2f not below static %.2f: %w", elasticCost, staticCost, ErrExperiment)
+	}
+	return t, nil
+}

@@ -1,0 +1,143 @@
+// Package experiments contains one runner per reproduction experiment
+// (E1..E14 in DESIGN.md / EXPERIMENTS.md). Each runner regenerates the
+// table recorded in EXPERIMENTS.md; cmd/evop-experiments prints them and
+// the root bench_test.go benchmarks wrap them.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ErrExperiment indicates an experiment could not produce its table.
+var ErrExperiment = errors.New("experiments: run failed")
+
+// Table is one experiment's reproducible output.
+type Table struct {
+	// ID is the experiment identifier ("E4").
+	ID string
+	// Title describes what is reproduced.
+	Title string
+	// Columns are the header names.
+	Columns []string
+	// Rows are the data cells, already formatted.
+	Rows [][]string
+	// Notes carry the expected-shape commentary.
+	Notes []string
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = pad(c, w)
+		}
+		return "  " + strings.Join(parts, "  ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Columns)); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Columns))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if _, err := fmt.Fprintln(w, line(rule)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Runner produces one experiment table.
+type Runner func() (*Table, error)
+
+// All returns the experiment registry in ID order.
+func All() map[string]Runner {
+	return map[string]Runner{
+		"E1":  E1EndToEnd,
+		"E2":  E2Scenarios,
+		"E3":  E3RESTvsStateful,
+		"E4":  E4Cloudburst,
+		"E5":  E5Malfunction,
+		"E6":  E6PushVsPoll,
+		"E7":  E7Elasticity,
+		"E8":  E8FlashCrowd,
+		"E9":  E9Journeys,
+		"E10": E10Calibration,
+		"E11": E11Fusion,
+		"E12": E12Workflow,
+		"E14": E14Bundles,
+		"E15": E15Quality,
+		"E16": E16FUSEEnsemble,
+		"E17": E17Sensitivity,
+		"E18": E18DiurnalElasticity,
+		"E19": E19Drought,
+		"A1":  A1PlacementPolicy,
+		"A2":  A2DetectionThreshold,
+		"A3":  A3RoutingChoice,
+	}
+}
+
+// IDs returns the experiment IDs in numeric order.
+func IDs() []string {
+	reg := All()
+	ids := make([]string, 0, len(reg))
+	for id := range reg {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		// E-experiments first in numeric order, then A-ablations.
+		if ids[i][0] != ids[j][0] {
+			return ids[i][0] == 'E'
+		}
+		return num(ids[i]) < num(ids[j])
+	})
+	return ids
+}
+
+func num(id string) int {
+	n := 0
+	for _, r := range id[1:] {
+		n = n*10 + int(r-'0')
+	}
+	return n
+}

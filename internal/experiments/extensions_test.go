@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE15Quality(t *testing.T) {
+	table := runExperiment(t, "E15")
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Compaction raises sediment vs baseline; afforestation lowers it.
+	if !strings.HasPrefix(table.Rows[2][4], "+") {
+		t.Fatalf("compaction sediment change = %s, want increase", table.Rows[2][4])
+	}
+	if !strings.HasPrefix(table.Rows[1][4], "-") {
+		t.Fatalf("afforestation sediment change = %s, want decrease", table.Rows[1][4])
+	}
+}
+
+func TestA1PlacementPolicy(t *testing.T) {
+	table := runExperiment(t, "A1")
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Private-first keeps more on the private cloud and costs less.
+	if table.Rows[0][1] <= table.Rows[1][1] {
+		t.Fatalf("private-first private count %s <= by-image-kind %s",
+			table.Rows[0][1], table.Rows[1][1])
+	}
+	if table.Rows[0][3] >= table.Rows[1][3] {
+		t.Fatalf("private-first cost %s >= by-image-kind %s",
+			table.Rows[0][3], table.Rows[1][3])
+	}
+}
+
+func TestA2DetectionThreshold(t *testing.T) {
+	table := runExperiment(t, "A2")
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Detection latency equals the threshold; only threshold 1 triggers a
+	// false positive on the transient spike.
+	for _, row := range table.Rows {
+		if row[0] != row[1] {
+			t.Fatalf("threshold %s detected at %s, want equality", row[0], row[1])
+		}
+	}
+	if table.Rows[0][2] != "YES" {
+		t.Fatalf("threshold 1 false positive = %s, want YES", table.Rows[0][2])
+	}
+	if table.Rows[1][2] != "no" || table.Rows[2][2] != "no" {
+		t.Fatalf("thresholds 3/5 false positives = %s/%s", table.Rows[1][2], table.Rows[2][2])
+	}
+}
+
+func TestA3RoutingChoice(t *testing.T) {
+	table := runExperiment(t, "A3")
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Peak must decrease monotonically as the unit hydrograph lengthens.
+	prev := ""
+	for i, row := range table.Rows {
+		if i > 0 && row[1] >= prev {
+			t.Fatalf("peak not decreasing at row %d: %s >= %s", i, row[1], prev)
+		}
+		prev = row[1]
+	}
+}
+
+func TestE16FUSEEnsemble(t *testing.T) {
+	table := runExperiment(t, "E16")
+	if len(table.Rows) != 6 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// The named extreme structures must be valid FUSE identifiers.
+	for _, i := range []int{0, 4} {
+		if !strings.HasPrefix(table.Rows[i][2], "fuse-") {
+			t.Fatalf("row %d structure = %s", i, table.Rows[i][2])
+		}
+	}
+}
+
+func TestE17Sensitivity(t *testing.T) {
+	table := runExperiment(t, "E17")
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range table.Rows {
+		names[row[0]] = true
+	}
+	for _, want := range []string{"M", "LnTe", "SRMax", "TD"} {
+		if !names[want] {
+			t.Fatalf("parameter %s missing from sweep", want)
+		}
+	}
+}
+
+func TestE18DiurnalElasticity(t *testing.T) {
+	table := runExperiment(t, "E18")
+	if len(table.Rows) != 5 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// Every day bursts at midday and reclaims overnight; elastic beats
+	// static (asserted inside the runner; here we sanity-check shape).
+	for day := 0; day < 3; day++ {
+		if table.Rows[day][2] == "0" {
+			t.Fatalf("day %d never used public capacity", day+1)
+		}
+	}
+}
+
+func TestE19Drought(t *testing.T) {
+	table := runExperiment(t, "E19")
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+}

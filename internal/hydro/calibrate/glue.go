@@ -1,0 +1,120 @@
+package calibrate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"evop/internal/timeseries"
+)
+
+// Bounds is a GLUE uncertainty envelope around a simulated hydrograph:
+// likelihood-weighted quantiles of the behavioural ensemble per time step.
+// This is exactly the "uncertainty bounds" presentation stakeholders asked
+// for in the paper's evaluation workshops (Section VI).
+type Bounds struct {
+	// Lower and Upper are the envelope series (e.g. 5th and 95th
+	// weighted percentiles).
+	Lower, Upper *timeseries.Series
+	// Median is the weighted 50th percentile.
+	Median *timeseries.Series
+	// Members is the number of behavioural simulations used.
+	Members int
+}
+
+// GLUE computes likelihood-weighted uncertainty bounds from behavioural
+// runs. Each run must carry its simulation (i.e. have been retained via
+// MCConfig.KeepSimsAbove). Scores are shifted to be positive and used as
+// GLUE likelihood weights. qLo/qHi are the envelope quantiles, e.g. 0.05
+// and 0.95.
+func GLUE(behavioural []RunScore, qLo, qHi float64) (*Bounds, error) {
+	if len(behavioural) == 0 {
+		return nil, fmt.Errorf("no behavioural runs: %w", ErrBadConfig)
+	}
+	if qLo < 0 || qHi > 1 || qLo >= qHi {
+		return nil, fmt.Errorf("quantiles [%v,%v]: %w", qLo, qHi, ErrBadConfig)
+	}
+	var ref *timeseries.Series
+	minScore := math.Inf(1)
+	for i, r := range behavioural {
+		if r.Sim == nil {
+			return nil, fmt.Errorf("run %d has no retained simulation (set KeepSimsAbove): %w", i, ErrBadConfig)
+		}
+		if ref == nil {
+			ref = r.Sim
+		} else if r.Sim.Len() != ref.Len() || !r.Sim.Start().Equal(ref.Start()) || r.Sim.Step() != ref.Step() {
+			return nil, fmt.Errorf("run %d simulation shape differs: %w", i, ErrMismatch)
+		}
+		if r.Score < minScore {
+			minScore = r.Score
+		}
+	}
+
+	// Likelihood weights: scores shifted positive, normalised.
+	weights := make([]float64, len(behavioural))
+	var wSum float64
+	for i, r := range behavioural {
+		weights[i] = r.Score - minScore + 1e-9
+		wSum += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= wSum
+	}
+
+	n := ref.Len()
+	lower := ref.Clone()
+	upper := ref.Clone()
+	median := ref.Clone()
+	vals := make([]wv, len(behavioural))
+	for t := 0; t < n; t++ {
+		for i, r := range behavioural {
+			vals[i] = wv{v: r.Sim.At(t), w: weights[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		lower.SetAt(t, weightedQuantile(vals, qLo))
+		median.SetAt(t, weightedQuantile(vals, 0.5))
+		upper.SetAt(t, weightedQuantile(vals, qHi))
+	}
+	return &Bounds{Lower: lower, Upper: upper, Median: median, Members: len(behavioural)}, nil
+}
+
+// wv pairs a simulated value with its likelihood weight.
+type wv struct {
+	v, w float64
+}
+
+// weightedQuantile returns the q-quantile of sorted weighted values using
+// the cumulative-weight definition.
+func weightedQuantile(sorted []wv, q float64) float64 {
+	cum := 0.0
+	for _, x := range sorted {
+		cum += x.w
+		if cum >= q {
+			return x.v
+		}
+	}
+	return sorted[len(sorted)-1].v
+}
+
+// ContainsFraction reports the fraction of observed samples falling inside
+// the envelope — the standard GLUE bounds-coverage diagnostic.
+func (b *Bounds) ContainsFraction(obs *timeseries.Series) (float64, error) {
+	if obs.Len() != b.Lower.Len() || !obs.Start().Equal(b.Lower.Start()) || obs.Step() != b.Lower.Step() {
+		return 0, fmt.Errorf("observed shape differs from bounds: %w", ErrMismatch)
+	}
+	in, total := 0, 0
+	for t := 0; t < obs.Len(); t++ {
+		v := obs.At(t)
+		if math.IsNaN(v) {
+			continue
+		}
+		total++
+		if v >= b.Lower.At(t) && v <= b.Upper.At(t) {
+			in++
+		}
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("no valid observed samples: %w", ErrMismatch)
+	}
+	return float64(in) / float64(total), nil
+}

@@ -1,0 +1,129 @@
+// Package pet computes potential evapotranspiration (PET), the second
+// forcing input every EVOp rainfall-runoff model needs. Two standard
+// temperature-based formulations are provided:
+//
+//   - Oudin et al. (2005): PET driven by extraterrestrial radiation and
+//     air temperature — the formulation used with parsimonious models
+//     like TOPMODEL and the FUSE structures;
+//   - Hamon (1961): PET from daylength and saturation vapour density.
+//
+// Both need only temperature and latitude, matching the data actually
+// available at the LEFT catchments.
+package pet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"evop/internal/timeseries"
+)
+
+// ErrBadInput indicates invalid latitude or temperature input.
+var ErrBadInput = errors.New("pet: invalid input")
+
+// solarDeclination returns the solar declination (radians) for a day of
+// year.
+func solarDeclination(yday int) float64 {
+	return 0.409 * math.Sin(2*math.Pi*float64(yday)/365-1.39)
+}
+
+// extraterrestrialRadiation returns Ra in MJ m-2 day-1 for the latitude
+// (radians) and day of year, per FAO-56.
+func extraterrestrialRadiation(latRad float64, yday int) float64 {
+	gsc := 0.0820 // solar constant, MJ m-2 min-1
+	dr := 1 + 0.033*math.Cos(2*math.Pi*float64(yday)/365)
+	decl := solarDeclination(yday)
+	x := -math.Tan(latRad) * math.Tan(decl)
+	if x > 1 {
+		x = 1 // polar night
+	}
+	if x < -1 {
+		x = -1 // midnight sun
+	}
+	ws := math.Acos(x)
+	return 24 * 60 / math.Pi * gsc * dr *
+		(ws*math.Sin(latRad)*math.Sin(decl) + math.Cos(latRad)*math.Cos(decl)*math.Sin(ws))
+}
+
+// daylightHours returns the astronomical day length in hours.
+func daylightHours(latRad float64, yday int) float64 {
+	decl := solarDeclination(yday)
+	x := -math.Tan(latRad) * math.Tan(decl)
+	if x > 1 {
+		x = 1
+	}
+	if x < -1 {
+		x = -1
+	}
+	return 24 / math.Pi * math.Acos(x)
+}
+
+// Oudin computes PET (mm per step) from a temperature series (deg C) at
+// the given latitude (degrees) using the Oudin et al. (2005) formula:
+//
+//	PET_daily = Ra / (lambda*rho) * (T + 5) / 100   if T + 5 > 0, else 0
+//
+// The daily value is distributed uniformly over the steps of each day.
+func Oudin(temp *timeseries.Series, latDeg float64) (*timeseries.Series, error) {
+	if latDeg < -90 || latDeg > 90 || math.IsNaN(latDeg) {
+		return nil, fmt.Errorf("latitude %v: %w", latDeg, ErrBadInput)
+	}
+	latRad := latDeg * math.Pi / 180
+	const lambdaRho = 2.45 // MJ kg-1 * Mg m-3 -> mm conversion divisor
+	stepsPerDay := float64(24*time.Hour) / float64(temp.Step())
+	if stepsPerDay < 1 {
+		stepsPerDay = 1
+	}
+	out := temp.Clone()
+	for i := 0; i < temp.Len(); i++ {
+		t := temp.At(i)
+		if math.IsNaN(t) {
+			return nil, fmt.Errorf("temperature[%d] is NaN: %w", i, ErrBadInput)
+		}
+		ra := extraterrestrialRadiation(latRad, temp.TimeAt(i).YearDay())
+		petDaily := 0.0
+		if t+5 > 0 {
+			petDaily = ra / lambdaRho * (t + 5) / 100
+		}
+		out.SetAt(i, petDaily/stepsPerDay)
+	}
+	return out, nil
+}
+
+// Hamon computes PET (mm per step) using the Hamon (1961) formulation:
+//
+//	PET_daily = 0.1651 * (Ld/12) * RhoSat(T) * kPEC
+//
+// where Ld is daylength in hours and RhoSat the saturated vapour density
+// (g m-3). kPEC is a calibration coefficient, typically 1.2 for the UK.
+func Hamon(temp *timeseries.Series, latDeg, kPEC float64) (*timeseries.Series, error) {
+	if latDeg < -90 || latDeg > 90 || math.IsNaN(latDeg) {
+		return nil, fmt.Errorf("latitude %v: %w", latDeg, ErrBadInput)
+	}
+	if kPEC <= 0 {
+		return nil, fmt.Errorf("kPEC %v: %w", kPEC, ErrBadInput)
+	}
+	latRad := latDeg * math.Pi / 180
+	stepsPerDay := float64(24*time.Hour) / float64(temp.Step())
+	if stepsPerDay < 1 {
+		stepsPerDay = 1
+	}
+	out := temp.Clone()
+	for i := 0; i < temp.Len(); i++ {
+		t := temp.At(i)
+		if math.IsNaN(t) {
+			return nil, fmt.Errorf("temperature[%d] is NaN: %w", i, ErrBadInput)
+		}
+		ld := daylightHours(latRad, temp.TimeAt(i).YearDay())
+		esat := 6.108 * math.Exp(17.27*t/(t+237.3)) // hPa
+		rhoSat := 216.7 * esat / (t + 273.3)        // g m-3
+		petDaily := 0.1651 * (ld / 12) * rhoSat * kPEC
+		if petDaily < 0 {
+			petDaily = 0
+		}
+		out.SetAt(i, petDaily/stepsPerDay)
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package pet
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"evop/internal/timeseries"
+)
+
+var (
+	winter = time.Date(2019, 1, 15, 0, 0, 0, 0, time.UTC)
+	summer = time.Date(2019, 7, 15, 0, 0, 0, 0, time.UTC)
+)
+
+func constTemp(start time.Time, c float64, n int) *timeseries.Series {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = c
+	}
+	return timeseries.MustNew(start, 24*time.Hour, vals)
+}
+
+func TestOudinSeasonalContrast(t *testing.T) {
+	const lat = 54.6 // Cumbria
+	w, err := Oudin(constTemp(winter, 10, 1), lat)
+	if err != nil {
+		t.Fatalf("Oudin winter: %v", err)
+	}
+	s, err := Oudin(constTemp(summer, 10, 1), lat)
+	if err != nil {
+		t.Fatalf("Oudin summer: %v", err)
+	}
+	// Same temperature, but July has far more radiation at 54N.
+	if s.At(0) <= w.At(0)*2 {
+		t.Fatalf("summer PET %v not >> winter PET %v", s.At(0), w.At(0))
+	}
+}
+
+func TestOudinColdCutoff(t *testing.T) {
+	got, err := Oudin(constTemp(winter, -10, 1), 54.6)
+	if err != nil {
+		t.Fatalf("Oudin: %v", err)
+	}
+	if got.At(0) != 0 {
+		t.Fatalf("PET at -10C = %v, want 0", got.At(0))
+	}
+}
+
+func TestOudinMagnitude(t *testing.T) {
+	// Summer PET at 15C in the UK should be a realistic 2-5 mm/day.
+	got, err := Oudin(constTemp(summer, 15, 1), 54.6)
+	if err != nil {
+		t.Fatalf("Oudin: %v", err)
+	}
+	if got.At(0) < 1 || got.At(0) > 6 {
+		t.Fatalf("summer PET = %v mm/day, want 1..6", got.At(0))
+	}
+}
+
+func TestOudinHourlySplitsDaily(t *testing.T) {
+	daily, _ := Oudin(constTemp(summer, 15, 1), 54.6)
+	hourlyTemp := timeseries.MustNew(summer, time.Hour, make([]float64, 24))
+	for i := 0; i < 24; i++ {
+		hourlyTemp.SetAt(i, 15)
+	}
+	hourly, err := Oudin(hourlyTemp, 54.6)
+	if err != nil {
+		t.Fatalf("Oudin hourly: %v", err)
+	}
+	if math.Abs(hourly.Summarise().Sum-daily.At(0)) > 1e-9 {
+		t.Fatalf("hourly total %v != daily %v", hourly.Summarise().Sum, daily.At(0))
+	}
+}
+
+func TestOudinErrors(t *testing.T) {
+	if _, err := Oudin(constTemp(summer, 10, 1), 91); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad latitude err = %v", err)
+	}
+	nan := constTemp(summer, 10, 2)
+	nan.SetAt(1, math.NaN())
+	if _, err := Oudin(nan, 54); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("NaN temp err = %v", err)
+	}
+}
+
+func TestOudinPolarEdges(t *testing.T) {
+	// Polar night (Jan at 80N) should give ~0 PET; midnight sun should not
+	// blow up.
+	night, err := Oudin(constTemp(winter, 5, 1), 80)
+	if err != nil {
+		t.Fatalf("Oudin polar night: %v", err)
+	}
+	if night.At(0) > 0.5 {
+		t.Fatalf("polar night PET = %v, want ~0", night.At(0))
+	}
+	sun, err := Oudin(constTemp(summer, 5, 1), 80)
+	if err != nil {
+		t.Fatalf("Oudin midnight sun: %v", err)
+	}
+	if math.IsNaN(sun.At(0)) || sun.At(0) < 0 {
+		t.Fatalf("midnight sun PET = %v", sun.At(0))
+	}
+}
+
+func TestHamonBasics(t *testing.T) {
+	got, err := Hamon(constTemp(summer, 15, 1), 54.6, 1.2)
+	if err != nil {
+		t.Fatalf("Hamon: %v", err)
+	}
+	if got.At(0) < 1 || got.At(0) > 7 {
+		t.Fatalf("Hamon summer PET = %v mm/day, want 1..7", got.At(0))
+	}
+	w, _ := Hamon(constTemp(winter, 15, 1), 54.6, 1.2)
+	if w.At(0) >= got.At(0) {
+		t.Fatalf("Hamon winter %v >= summer %v at same temp", w.At(0), got.At(0))
+	}
+}
+
+func TestHamonWarmerMeansMore(t *testing.T) {
+	cold, _ := Hamon(constTemp(summer, 5, 1), 54.6, 1.2)
+	warm, _ := Hamon(constTemp(summer, 20, 1), 54.6, 1.2)
+	if warm.At(0) <= cold.At(0) {
+		t.Fatalf("Hamon 20C %v <= 5C %v", warm.At(0), cold.At(0))
+	}
+}
+
+func TestHamonErrors(t *testing.T) {
+	temp := constTemp(summer, 10, 1)
+	if _, err := Hamon(temp, -91, 1.2); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("bad latitude err = %v", err)
+	}
+	if _, err := Hamon(temp, 54, 0); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("kPEC=0 err = %v", err)
+	}
+	nan := constTemp(summer, 10, 2)
+	nan.SetAt(0, math.NaN())
+	if _, err := Hamon(nan, 54, 1.2); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("NaN temp err = %v", err)
+	}
+}

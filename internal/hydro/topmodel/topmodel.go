@@ -1,0 +1,283 @@
+// Package topmodel implements TOPMODEL (Beven & Kirkby 1979), the
+// quasi-physical, topographic-index-based rainfall-runoff model the EVOp
+// LEFT exemplar deployed in the cloud for its Morland flooding tool.
+//
+// The implementation follows the classic exponential-transmissivity
+// formulation: the catchment is discretised by its topographic index
+// distribution ln(a/tanB); the saturated zone is a single exponential
+// store whose mean deficit SBar maps to a local deficit per index class;
+// classes whose deficit reaches zero generate saturation-excess overland
+// flow; the unsaturated zone drains to the water table with a deficit-
+// proportional time delay; generated runoff is routed to the outlet with
+// a triangular unit hydrograph.
+//
+// Units: depths in mm per time step; the step is taken from the forcing.
+package topmodel
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"evop/internal/catchment"
+	"evop/internal/hydro"
+	"evop/internal/timeseries"
+)
+
+// ErrBadParams indicates an invalid parameter set.
+var ErrBadParams = errors.New("topmodel: invalid parameters")
+
+// Params are TOPMODEL's calibration parameters.
+type Params struct {
+	// M is the exponential scaling parameter of transmissivity decline
+	// with deficit (mm). Small M = flashy; large M = damped.
+	M float64 `json:"m"`
+	// LnTe is the log of the areal average effective transmissivity
+	// (ln(mm/step)).
+	LnTe float64 `json:"lnTe"`
+	// SRMax is the root zone available water capacity (mm).
+	SRMax float64 `json:"srMax"`
+	// SR0 is the initial root zone deficit (mm), in [0, SRMax].
+	SR0 float64 `json:"sr0"`
+	// TD is the unsaturated zone time delay per unit deficit (step/mm).
+	TD float64 `json:"td"`
+	// Q0 is the initial discharge (mm/step) used to initialise the mean
+	// deficit.
+	Q0 float64 `json:"q0"`
+	// RoutePeakSteps is the triangular unit hydrograph time-to-peak in
+	// steps.
+	RoutePeakSteps int `json:"routePeakSteps"`
+	// RouteBaseSteps is the unit hydrograph base length in steps.
+	RouteBaseSteps int `json:"routeBaseSteps"`
+}
+
+// DefaultParams returns a parameter set behaving plausibly for a small
+// wet upland catchment at an hourly step.
+func DefaultParams() Params {
+	return Params{
+		M:              28,
+		LnTe:           5.5,
+		SRMax:          40,
+		SR0:            2,
+		TD:             2,
+		Q0:             0.05,
+		RoutePeakSteps: 3,
+		RouteBaseSteps: 12,
+	}
+}
+
+// Validate checks parameter ranges.
+func (p Params) Validate() error {
+	switch {
+	case p.M <= 0 || math.IsNaN(p.M):
+		return fmt.Errorf("M=%v: %w", p.M, ErrBadParams)
+	case math.IsNaN(p.LnTe):
+		return fmt.Errorf("LnTe=%v: %w", p.LnTe, ErrBadParams)
+	case p.SRMax <= 0:
+		return fmt.Errorf("SRMax=%v: %w", p.SRMax, ErrBadParams)
+	case p.SR0 < 0 || p.SR0 > p.SRMax:
+		return fmt.Errorf("SR0=%v outside [0, SRMax=%v]: %w", p.SR0, p.SRMax, ErrBadParams)
+	case p.TD <= 0:
+		return fmt.Errorf("TD=%v: %w", p.TD, ErrBadParams)
+	case p.Q0 <= 0:
+		return fmt.Errorf("Q0=%v: %w", p.Q0, ErrBadParams)
+	case p.RoutePeakSteps < 1 || p.RouteBaseSteps <= p.RoutePeakSteps:
+		return fmt.Errorf("routing tp=%d base=%d: %w", p.RoutePeakSteps, p.RouteBaseSteps, ErrBadParams)
+	}
+	return nil
+}
+
+// Model is a configured TOPMODEL instance for one catchment.
+type Model struct {
+	params Params
+	ti     *catchment.TIDistribution
+	uh     *hydro.UnitHydrograph
+}
+
+var _ hydro.Model = (*Model)(nil)
+
+// New builds a Model from parameters and a topographic index
+// distribution.
+func New(params Params, ti *catchment.TIDistribution) (*Model, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if ti == nil {
+		return nil, fmt.Errorf("nil TI distribution: %w", ErrBadParams)
+	}
+	if err := ti.Validate(); err != nil {
+		return nil, fmt.Errorf("TI distribution: %w", err)
+	}
+	uh, err := hydro.TriangularUH(params.RoutePeakSteps, params.RouteBaseSteps)
+	if err != nil {
+		return nil, fmt.Errorf("building routing: %w", err)
+	}
+	return &Model{params: params, ti: ti, uh: uh}, nil
+}
+
+// Name implements hydro.Model.
+func (m *Model) Name() string { return "topmodel" }
+
+// Params returns the model's parameter set.
+func (m *Model) Params() Params { return m.params }
+
+// Output holds the full simulation products the LEFT widget visualises.
+type Output struct {
+	// Discharge is total routed streamflow, mm per step.
+	Discharge *timeseries.Series
+	// Baseflow is the subsurface contribution before routing, mm/step.
+	Baseflow *timeseries.Series
+	// Overland is saturation-excess flow before routing, mm/step.
+	Overland *timeseries.Series
+	// SatFraction is the fraction of the catchment saturated each step.
+	SatFraction *timeseries.Series
+	// ActualET is actual evapotranspiration, mm/step.
+	ActualET *timeseries.Series
+	// Balance is the simulation's water accounting.
+	Balance hydro.MassBalance
+}
+
+// Run implements hydro.Model, returning routed discharge.
+func (m *Model) Run(f hydro.Forcing) (*timeseries.Series, error) {
+	out, err := m.RunDetailed(f)
+	if err != nil {
+		return nil, err
+	}
+	return out.Discharge, nil
+}
+
+// RunDetailed simulates and returns all output components.
+func (m *Model) RunDetailed(f hydro.Forcing) (*Output, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	p := m.params
+	lambda := m.ti.Mean
+	nBins := len(m.ti.Values)
+	n := f.Len()
+
+	// SZQ is the subsurface flow at zero mean deficit.
+	szq := math.Exp(p.LnTe - lambda)
+	// Initialise mean deficit from the initial discharge.
+	sbar := -p.M * math.Log(p.Q0/szq)
+	if sbar < 0 {
+		sbar = 0
+	}
+	srz := p.SR0                  // root zone deficit
+	suz := make([]float64, nBins) // unsaturated storage per TI class
+
+	zeros := func() *timeseries.Series {
+		s, _ := timeseries.Zeros(f.Rain.Start(), f.Rain.Step(), n)
+		return s
+	}
+	qTotal := zeros()
+	qBase := zeros()
+	qOver := zeros()
+	satFrac := zeros()
+	aet := zeros()
+
+	storage := func() float64 {
+		s := -sbar - srz
+		for i, u := range suz {
+			s += u * m.ti.Fractions[i]
+		}
+		return s
+	}
+	s0 := storage()
+
+	var rainIn, etOut, flowOut float64
+	for t := 0; t < n; t++ {
+		rain := f.Rain.At(t)
+		pet := f.PET.At(t)
+		rainIn += rain
+
+		// Root zone: rainfall first satisfies the root zone deficit.
+		fill := rain
+		if fill > srz {
+			fill = srz
+		}
+		srz -= fill
+		excess := rain - fill
+
+		// Actual ET drawn from the root zone, reduced as it dries.
+		ea := pet * (1 - srz/p.SRMax)
+		if ea < 0 {
+			ea = 0
+		}
+		if srz+ea > p.SRMax {
+			ea = p.SRMax - srz
+		}
+		srz += ea
+		etOut += ea
+		aet.SetAt(t, ea)
+
+		// Baseflow from the exponential saturated store.
+		qb := szq * math.Exp(-sbar/p.M)
+
+		// Distribute excess over TI classes; generate overland flow and
+		// recharge.
+		var qof, qv, sat float64
+		for i := 0; i < nBins; i++ {
+			frac := m.ti.Fractions[i]
+			if frac == 0 {
+				continue
+			}
+			// Local deficit for this index class.
+			si := sbar + p.M*(lambda-m.ti.Values[i])
+			if si < 0 {
+				si = 0
+			}
+			suz[i] += excess
+			if si <= 0 {
+				// Saturated: everything runs off.
+				qof += frac * suz[i]
+				sat += frac
+				suz[i] = 0
+				continue
+			}
+			if suz[i] > si {
+				// Storage above the local deficit spills as overland flow.
+				qof += frac * (suz[i] - si)
+				suz[i] = si
+			}
+			// Gravity drainage to the water table.
+			quz := suz[i] / (si * p.TD)
+			if quz > suz[i] {
+				quz = suz[i]
+			}
+			suz[i] -= quz
+			qv += frac * quz
+		}
+
+		// Update the mean deficit; a negative deficit means the whole
+		// catchment is saturated and the surplus leaves as overland flow.
+		sbar += qb - qv
+		if sbar < 0 {
+			qof += -sbar
+			sbar = 0
+		}
+
+		qBase.SetAt(t, qb)
+		qOver.SetAt(t, qof)
+		satFrac.SetAt(t, sat)
+		qTotal.SetAt(t, qb+qof)
+		flowOut += qb + qof
+	}
+
+	balance := hydro.MassBalance{
+		RainIn:   rainIn,
+		ETOut:    etOut,
+		FlowOut:  flowOut,
+		StorageD: storage() - s0,
+	}
+	balance.ClosureMM = balance.RainIn - balance.ETOut - balance.FlowOut - balance.StorageD
+
+	return &Output{
+		Discharge:   m.uh.Route(qTotal),
+		Baseflow:    qBase,
+		Overland:    qOver,
+		SatFraction: satFrac,
+		ActualET:    aet,
+		Balance:     balance,
+	}, nil
+}

@@ -1,0 +1,489 @@
+// Package journey is the reproduction's substitute for the paper's human
+// usability evaluation ("more than 75% of users found the tool to be both
+// useful and easy to use"). A survey cannot be re-run in code; what can
+// be verified mechanically is that every user journey the paper narrates
+// is completable through the public portal API, end to end, for each of
+// the four stakeholder groups (Section III-A). Each persona walks its
+// storyboard against a live portal and the runner reports per-step
+// success; experiment E9 reports the completion rate.
+package journey
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// ErrStepFailed indicates a journey step did not complete.
+var ErrStepFailed = errors.New("journey: step failed")
+
+// Group is the stakeholder group of a persona (paper Section III-A).
+type Group int
+
+// Stakeholder groups.
+const (
+	Scientist Group = iota + 1
+	PolicyMaker
+	Farmer
+	GeneralPublic
+)
+
+// String returns the group name.
+func (g Group) String() string {
+	switch g {
+	case Scientist:
+		return "environmental scientist"
+	case PolicyMaker:
+		return "policy maker"
+	case Farmer:
+		return "farmer"
+	case GeneralPublic:
+		return "general public"
+	default:
+		return fmt.Sprintf("Group(%d)", int(g))
+	}
+}
+
+// Client wraps HTTP access to a portal for journey steps.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a journey client for the portal at base URL.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), http: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// GetJSON fetches a path and decodes the JSON response into out (out may
+// be nil to just require HTTP 200).
+func (c *Client) GetJSON(path string, out any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d: %s: %w", path, resp.StatusCode, truncate(body), ErrStepFailed)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(body, out); err != nil {
+		return fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+// GetRaw fetches a path and returns the body, requiring HTTP 200.
+func (c *Client) GetRaw(path string) ([]byte, error) {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return nil, fmt.Errorf("GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("reading %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d: %w", path, resp.StatusCode, ErrStepFailed)
+	}
+	return body, nil
+}
+
+// PostJSON posts a JSON body and decodes the response.
+func (c *Client) PostJSON(path string, body string, out any) error {
+	resp, err := c.http.Post(c.base+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("reading %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: status %d: %s: %w", path, resp.StatusCode, truncate(raw), ErrStepFailed)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return nil
+}
+
+func truncate(b []byte) string {
+	const max = 120
+	if len(b) > max {
+		return string(b[:max]) + "..."
+	}
+	return string(b)
+}
+
+// Step is one storyboard action.
+type Step struct {
+	// Name describes the action in storyboard language.
+	Name string
+	// Do performs the action against the portal.
+	Do func(c *Client) error
+}
+
+// Persona is one simulated stakeholder with a storyboard journey.
+type Persona struct {
+	// Name labels the persona ("Morland farmer").
+	Name string
+	// Group is the stakeholder group.
+	Group Group
+	// Steps is the storyboard, in order.
+	Steps []Step
+}
+
+// runResult is one model-run response subset shared by several steps.
+type runResult struct {
+	PeakMm      float64 `json:"peakMm"`
+	StormPeakMm float64 `json:"stormPeakMm"`
+	VolumeMm    float64 `json:"volumeMm"`
+	Scenario    string  `json:"scenario"`
+}
+
+// Personas returns the four standard storyboards, one per stakeholder
+// group, mirroring the interests the paper records for each (Section V-B:
+// villagers want flood information and causes; farmers want to know if
+// their practices increase risk and what would reduce it; policy makers
+// ask 'what if'; scientists want data access, standards interfaces and
+// parameter control).
+func Personas() []Persona {
+	return []Persona{
+		{
+			Name:  "Morland villager",
+			Group: GeneralPublic,
+			Steps: []Step{
+				{Name: "open the catchment map", Do: func(c *Client) error {
+					var fc struct {
+						Features []json.RawMessage `json:"features"`
+					}
+					if err := c.GetJSON("/map/layers?catchment=morland", &fc); err != nil {
+						return err
+					}
+					if len(fc.Features) == 0 {
+						return fmt.Errorf("empty map layer: %w", ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "check the live river level", Do: func(c *Client) error {
+					var reading struct {
+						Value float64 `json:"value"`
+					}
+					if err := c.GetJSON("/sensors/morland-level-1/latest", &reading); err != nil {
+						return err
+					}
+					if reading.Value <= 0 {
+						return fmt.Errorf("level %v: %w", reading.Value, ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "look at the river webcam alongside turbidity", Do: func(c *Client) error {
+					var fused struct {
+						Frame struct {
+							Content []byte `json:"content"`
+						} `json:"frame"`
+					}
+					if err := c.GetJSON("/widgets/fusion?catchment=morland", &fused); err != nil {
+						return err
+					}
+					if len(fused.Frame.Content) == 0 {
+						return fmt.Errorf("no webcam frame: %w", ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "ask: is my property at risk after a big storm?", Do: func(c *Client) error {
+					var out runResult
+					body := `{"catchment":"morland","model":"topmodel",` +
+						`"storm":{"TotalDepthMM":60,"Duration":21600000000000,"PeakFraction":0.4},"stormAtHours":240}`
+					if err := c.PostJSON("/widgets/model/run", body, &out); err != nil {
+						return err
+					}
+					if out.PeakMm <= 0 {
+						return fmt.Errorf("no flood response simulated: %w", ErrStepFailed)
+					}
+					return nil
+				}},
+			},
+		},
+		{
+			Name:  "Morland farmer",
+			Group: Farmer,
+			Steps: []Step{
+				{Name: "browse the scenario presets", Do: func(c *Client) error {
+					var scns []struct {
+						ID string `json:"id"`
+					}
+					if err := c.GetJSON("/widgets/model/scenarios", &scns); err != nil {
+						return err
+					}
+					if len(scns) != 4 {
+						return fmt.Errorf("%d scenarios: %w", len(scns), ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "does heavier grazing raise flood risk?", Do: func(c *Client) error {
+					base, err := runScenario(c, "baseline")
+					if err != nil {
+						return err
+					}
+					comp, err := runScenario(c, "compaction")
+					if err != nil {
+						return err
+					}
+					if comp.StormPeakMm <= base.StormPeakMm {
+						return fmt.Errorf("compaction peak %.3f <= baseline %.3f: %w",
+							comp.StormPeakMm, base.StormPeakMm, ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "would planting woodland reduce it?", Do: func(c *Client) error {
+					base, err := runScenario(c, "baseline")
+					if err != nil {
+						return err
+					}
+					aff, err := runScenario(c, "afforestation")
+					if err != nil {
+						return err
+					}
+					if aff.StormPeakMm >= base.StormPeakMm {
+						return fmt.Errorf("afforestation peak %.3f >= baseline %.3f: %w",
+							aff.StormPeakMm, base.StormPeakMm, ErrStepFailed)
+					}
+					return nil
+				}},
+			},
+		},
+		{
+			Name:  "Statutory authority officer",
+			Group: PolicyMaker,
+			Steps: []Step{
+				{Name: "list the catchments under management", Do: func(c *Client) error {
+					var cs []struct {
+						ID string `json:"id"`
+					}
+					if err := c.GetJSON("/api/catchments", &cs); err != nil {
+						return err
+					}
+					if len(cs) != 3 {
+						return fmt.Errorf("%d catchments: %w", len(cs), ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "what if we fund attenuation features?", Do: func(c *Client) error {
+					base, err := runScenario(c, "baseline")
+					if err != nil {
+						return err
+					}
+					stor, err := runScenario(c, "storage")
+					if err != nil {
+						return err
+					}
+					if stor.StormPeakMm >= base.StormPeakMm {
+						return fmt.Errorf("storage peak %.3f >= baseline %.3f: %w",
+							stor.StormPeakMm, base.StormPeakMm, ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "compare all four scenarios for the briefing", Do: func(c *Client) error {
+					for _, id := range []string{"baseline", "afforestation", "compaction", "storage"} {
+						if _, err := runScenario(c, id); err != nil {
+							return fmt.Errorf("scenario %s: %w", id, err)
+						}
+					}
+					return nil
+				}},
+				{Name: "what does grazing intensification do to water quality?", Do: func(c *Client) error {
+					var out struct {
+						SedimentChange float64 `json:"sedimentChange"`
+					}
+					if err := c.GetJSON("/widgets/quality?catchment=morland&scenario=compaction", &out); err != nil {
+						return err
+					}
+					if out.SedimentChange <= 0 {
+						return fmt.Errorf("no sediment increase reported: %w", ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "and to summer low flows?", Do: func(c *Client) error {
+					var out struct {
+						Summary struct {
+							Q95 float64 `json:"q95"`
+						} `json:"summary"`
+						Baseline struct {
+							Q95 float64 `json:"q95"`
+						} `json:"baseline"`
+					}
+					if err := c.GetJSON("/widgets/lowflow?catchment=morland&scenario=compaction", &out); err != nil {
+						return err
+					}
+					if out.Summary.Q95 <= 0 || out.Baseline.Q95 <= 0 {
+						return fmt.Errorf("degenerate Q95: %w", ErrStepFailed)
+					}
+					return nil
+				}},
+			},
+		},
+		{
+			Name:  "Hydrology researcher",
+			Group: Scientist,
+			Steps: []Step{
+				{Name: "discover processes via WPS GetCapabilities", Do: func(c *Client) error {
+					body, err := c.GetRaw("/wps?service=WPS&request=GetCapabilities")
+					if err != nil {
+						return err
+					}
+					if !strings.Contains(string(body), "topmodel") {
+						return fmt.Errorf("topmodel not offered: %w", ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "read the process contract via DescribeProcess", Do: func(c *Client) error {
+					body, err := c.GetRaw("/wps?service=WPS&request=DescribeProcess&identifier=topmodel")
+					if err != nil {
+						return err
+					}
+					if !strings.Contains(string(body), "catchment") {
+						return fmt.Errorf("inputs not described: %w", ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "execute the model through the OGC interface", Do: func(c *Client) error {
+					body, err := c.GetRaw("/wps?service=WPS&request=Execute&identifier=topmodel&datainputs=" +
+						url.QueryEscape("catchment=tarland;scenario=baseline"))
+					if err != nil {
+						return err
+					}
+					if !strings.Contains(string(body), "ProcessSucceeded") {
+						return fmt.Errorf("WPS execute failed: %w", ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "pull raw observations via SOS", Do: func(c *Client) error {
+					body, err := c.GetRaw("/sos?service=SOS&request=GetObservation&procedure=tarland-rain-1")
+					if err != nil {
+						return err
+					}
+					if !strings.Contains(string(body), "om:Observation") {
+						return fmt.Errorf("no observations: %w", ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "upload field observations and model against them", Do: func(c *Client) error {
+					var csv strings.Builder
+					csv.WriteString("time,value\n")
+					start := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+					for i := 0; i < 72; i++ {
+						v := "0"
+						if i >= 30 && i < 36 {
+							v = "7"
+						}
+						csv.WriteString(start.Add(time.Duration(i)*time.Hour).Format(time.RFC3339) + "," + v + "\n")
+					}
+					if err := c.PostJSON("/datasets/upload?id=field-campaign", csv.String(), nil); err != nil {
+						return err
+					}
+					var out runResult
+					if err := c.PostJSON("/widgets/model/run",
+						`{"catchment":"morland","model":"topmodel","rainDataset":"field-campaign"}`, &out); err != nil {
+						return err
+					}
+					if out.VolumeMm <= 0 {
+						return fmt.Errorf("uploaded-data run produced nothing: %w", ErrStepFailed)
+					}
+					return nil
+				}},
+				{Name: "run with custom parameters (the sliders)", Do: func(c *Client) error {
+					var out runResult
+					body := `{"catchment":"tarland","model":"topmodel",` +
+						`"topmodelParams":{"m":15,"lnTe":5,"srMax":30,"sr0":1,"td":2,"q0":0.05,` +
+						`"routePeakSteps":3,"routeBaseSteps":12}}`
+					if err := c.PostJSON("/widgets/model/run", body, &out); err != nil {
+						return err
+					}
+					if out.VolumeMm <= 0 {
+						return fmt.Errorf("no volume: %w", ErrStepFailed)
+					}
+					return nil
+				}},
+			},
+		},
+	}
+}
+
+func runScenario(c *Client, id string) (runResult, error) {
+	// The widget suggests a dry placement for the comparison storm so the
+	// land-use signal is not masked by saturated antecedent conditions.
+	var window struct {
+		StormAtHours int `json:"stormAtHours"`
+	}
+	if err := c.GetJSON("/widgets/model/storm-window?catchment=morland", &window); err != nil {
+		return runResult{}, err
+	}
+	var out runResult
+	body := fmt.Sprintf(`{"catchment":"morland","model":"topmodel","scenario":%q,`+
+		`"storm":{"TotalDepthMM":60,"Duration":21600000000000,"PeakFraction":0.4},"stormAtHours":%d}`,
+		id, window.StormAtHours)
+	if err := c.PostJSON("/widgets/model/run", body, &out); err != nil {
+		return runResult{}, err
+	}
+	return out, nil
+}
+
+// StepResult records one step's outcome.
+type StepResult struct {
+	Step string `json:"step"`
+	Err  string `json:"error,omitempty"`
+}
+
+// Report is one persona's journey outcome.
+type Report struct {
+	Persona   string       `json:"persona"`
+	Group     string       `json:"group"`
+	Steps     []StepResult `json:"steps"`
+	Completed bool         `json:"completed"`
+}
+
+// Run walks every persona's journey against the portal at base URL and
+// returns one report per persona plus the overall completion rate.
+func Run(base string, personas []Persona) ([]Report, float64) {
+	client := NewClient(base)
+	reports := make([]Report, 0, len(personas))
+	completed := 0
+	for _, p := range personas {
+		rep := Report{Persona: p.Name, Group: p.Group.String(), Completed: true}
+		for _, step := range p.Steps {
+			sr := StepResult{Step: step.Name}
+			if err := step.Do(client); err != nil {
+				sr.Err = err.Error()
+				rep.Completed = false
+			}
+			rep.Steps = append(rep.Steps, sr)
+		}
+		if rep.Completed {
+			completed++
+		}
+		reports = append(reports, rep)
+	}
+	rate := 0.0
+	if len(personas) > 0 {
+		rate = float64(completed) / float64(len(personas))
+	}
+	return reports, rate
+}

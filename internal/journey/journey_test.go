@@ -1,0 +1,108 @@
+package journey
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"evop/internal/clock"
+	"evop/internal/core"
+	"evop/internal/portal"
+)
+
+var epoch = time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func livePortal(t *testing.T) string {
+	t.Helper()
+	clk := clock.NewSimulated(epoch)
+	cfg := core.DefaultConfig(clk)
+	cfg.ForcingDays = 30
+	obs, err := core.New(cfg)
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	p, err := portal.New(obs)
+	if err != nil {
+		t.Fatalf("portal.New: %v", err)
+	}
+	obs.Start()
+	t.Cleanup(obs.Stop)
+	clk.Advance(3 * time.Hour)
+	srv := httptest.NewServer(p)
+	t.Cleanup(srv.Close)
+	return srv.URL
+}
+
+func TestPersonasCoverAllGroups(t *testing.T) {
+	groups := make(map[Group]bool)
+	for _, p := range Personas() {
+		if len(p.Steps) == 0 {
+			t.Fatalf("persona %s has no steps", p.Name)
+		}
+		groups[p.Group] = true
+	}
+	for _, g := range []Group{Scientist, PolicyMaker, Farmer, GeneralPublic} {
+		if !groups[g] {
+			t.Fatalf("no persona for group %v", g)
+		}
+	}
+}
+
+func TestAllJourneysComplete(t *testing.T) {
+	base := livePortal(t)
+	reports, rate := Run(base, Personas())
+	for _, rep := range reports {
+		for _, s := range rep.Steps {
+			if s.Err != "" {
+				t.Errorf("%s / %s: %s", rep.Persona, s.Step, s.Err)
+			}
+		}
+	}
+	// The paper reports >75% satisfaction; mechanical completability must
+	// be 100%.
+	if rate != 1.0 {
+		t.Fatalf("completion rate = %.0f%%, want 100%%", rate*100)
+	}
+}
+
+func TestRunAgainstDeadPortal(t *testing.T) {
+	reports, rate := Run("http://127.0.0.1:1", Personas())
+	if rate != 0 {
+		t.Fatalf("rate against dead portal = %v", rate)
+	}
+	for _, rep := range reports {
+		if rep.Completed {
+			t.Fatalf("%s completed against dead portal", rep.Persona)
+		}
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	base := livePortal(t)
+	c := NewClient(base)
+	if err := c.GetJSON("/nonexistent", nil); !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("404 err = %v", err)
+	}
+	var out map[string]any
+	if err := c.GetJSON("/healthz", &out); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if err := c.PostJSON("/widgets/model/run", "{bad", nil); !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("bad POST err = %v", err)
+	}
+	if _, err := c.GetRaw("/nonexistent"); !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("GetRaw 404 err = %v", err)
+	}
+}
+
+func TestGroupString(t *testing.T) {
+	for g, want := range map[Group]string{
+		Scientist: "environmental scientist", PolicyMaker: "policy maker",
+		Farmer: "farmer", GeneralPublic: "general public", Group(9): "Group(9)",
+	} {
+		if g.String() != want {
+			t.Errorf("String = %q want %q", g.String(), want)
+		}
+	}
+}

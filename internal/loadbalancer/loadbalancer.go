@@ -1,0 +1,470 @@
+// Package loadbalancer implements EVOp's Load Balancer (LB, paper Section
+// IV-D), the Infrastructure Manager module that "monitors the health
+// status of running instances with two objectives: minimise costs and
+// maintain instance responsiveness".
+//
+// Behaviours reproduced from the paper:
+//
+//   - cloudbursting: "user requests are served by default using private
+//     instances. Upon saturation of private cloud resources, LB initiates
+//     cloudbursting mode where public cloud instances are used beside
+//     private ones. This is reversed upon detecting underuse, migrating
+//     users back to use private instances."
+//   - malfunction detection: "instance statistics are observed, namely
+//     CPU utilisation, disk reads and writes, and network usage.
+//     Degradation in these metrics, such as sustained high CPU
+//     utilisation or zero outbound network usage whilst receiving inbound
+//     traffic, triggers LB into starting a new instance and redirecting
+//     users that were being served by the seemingly malfunctioning
+//     instance to the newly created one."
+//   - session redistribution: "LB also monitors the state of active user
+//     sessions and redistributes users on running cloud instances
+//     accordingly. RB is used to push updated session information in
+//     order to redirect user calls."
+//
+// The LB runs a periodic control loop on a clock.Clock, so all behaviours
+// are deterministic under the simulated clock.
+package loadbalancer
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"evop/internal/broker"
+	"evop/internal/clock"
+	"evop/internal/cloud"
+	"evop/internal/cloud/crosscloud"
+)
+
+// ErrBadConfig indicates an invalid load balancer configuration.
+var ErrBadConfig = errors.New("loadbalancer: invalid configuration")
+
+// Config parameterises the LB control loop.
+type Config struct {
+	// Multi is the cross-cloud compute façade instances are launched on.
+	Multi *crosscloud.Multi
+	// Broker is consulted for sessions and used to migrate them.
+	Broker *broker.Broker
+	// Clock drives the control loop.
+	Clock clock.Clock
+	// Image is the VM image launched for new capacity.
+	Image cloud.Image
+	// Flavor is the instance size launched.
+	Flavor cloud.Flavor
+	// Interval is the control loop period.
+	Interval time.Duration
+	// HighCPUThreshold marks an instance suspect when CPU utilisation
+	// meets or exceeds it. Default 0.95.
+	HighCPUThreshold float64
+	// SuspectTicks is how many consecutive suspect observations trigger
+	// replacement. Default 3.
+	SuspectTicks int
+	// IdleTicks is how many consecutive idle (zero-session) observations
+	// allow an instance to be reclaimed. Default 3.
+	IdleTicks int
+	// MinInstances keeps a floor of warm instances (prewarming). Default
+	// 1.
+	MinInstances int
+}
+
+func (c *Config) setDefaults() {
+	if c.HighCPUThreshold == 0 {
+		c.HighCPUThreshold = 0.95
+	}
+	if c.SuspectTicks == 0 {
+		c.SuspectTicks = 3
+	}
+	if c.IdleTicks == 0 {
+		c.IdleTicks = 3
+	}
+	if c.MinInstances == 0 {
+		c.MinInstances = 1
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Multi == nil:
+		return fmt.Errorf("nil multi-cloud: %w", ErrBadConfig)
+	case c.Broker == nil:
+		return fmt.Errorf("nil broker: %w", ErrBadConfig)
+	case c.Clock == nil:
+		return fmt.Errorf("nil clock: %w", ErrBadConfig)
+	case c.Interval <= 0:
+		return fmt.Errorf("interval %v: %w", c.Interval, ErrBadConfig)
+	case c.Flavor.MaxSessions < 1:
+		return fmt.Errorf("flavor MaxSessions %d: %w", c.Flavor.MaxSessions, ErrBadConfig)
+	case c.HighCPUThreshold < 0 || c.HighCPUThreshold > 1:
+		return fmt.Errorf("cpu threshold %v: %w", c.HighCPUThreshold, ErrBadConfig)
+	}
+	return nil
+}
+
+// Event records one management action, for experiment reporting.
+type Event struct {
+	At     time.Time `json:"at"`
+	Action string    `json:"action"` // launch | terminate | replace | migrate
+	Detail string    `json:"detail"`
+}
+
+// instanceTrack holds the LB's rolling observations of one instance.
+type instanceTrack struct {
+	suspectTicks int
+	idleTicks    int
+	lastNetIn    uint64
+	lastNetOut   uint64
+	seen         bool
+}
+
+// LB is the load balancer.
+type LB struct {
+	cfg Config
+
+	mu       sync.Mutex
+	running  bool
+	stopTick func() bool
+	tracks   map[string]*instanceTrack
+	events   []Event
+	ticks    int
+	replaced int
+}
+
+var _ broker.Placer = (*LB)(nil)
+
+// New builds an LB. Call Start to begin the control loop; PlaceNow works
+// even when the loop is stopped.
+func New(cfg Config) (*LB, error) {
+	cfg.setDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lb := &LB{cfg: cfg, tracks: make(map[string]*instanceTrack)}
+	cfg.Broker.SetPlacer(lb)
+	return lb, nil
+}
+
+// Start launches the periodic control loop. It is idempotent.
+func (lb *LB) Start() {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	if lb.running {
+		return
+	}
+	lb.running = true
+	lb.armLocked()
+}
+
+func (lb *LB) armLocked() {
+	lb.stopTick = lb.cfg.Clock.AfterFunc(lb.cfg.Interval, func() {
+		lb.Tick()
+		lb.mu.Lock()
+		defer lb.mu.Unlock()
+		if lb.running {
+			lb.armLocked()
+		}
+	})
+}
+
+// Stop halts the control loop.
+func (lb *LB) Stop() {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.running = false
+	if lb.stopTick != nil {
+		lb.stopTick()
+		lb.stopTick = nil
+	}
+}
+
+// PlaceNow implements broker.Placer: the least-loaded running,
+// unsaturated, service-capable instance — private preferred so that load
+// reverts to owned capacity naturally.
+func (lb *LB) PlaceNow(service string) *cloud.Instance {
+	var best *cloud.Instance
+	score := func(in *cloud.Instance) float64 {
+		s := float64(in.Sessions())
+		if in.Kind() == cloud.Public {
+			s += 0.5 // prefer private at equal load
+		}
+		return s
+	}
+	for _, in := range lb.cfg.Multi.Instances() {
+		if in.State() != cloud.StateRunning || in.Saturated() {
+			continue
+		}
+		if !serves(in, service) {
+			continue
+		}
+		if lb.isSuspect(in.ID()) {
+			continue
+		}
+		if best == nil || score(in) < score(best) {
+			best = in
+		}
+	}
+	return best
+}
+
+func (lb *LB) isSuspect(id string) bool {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	tr, ok := lb.tracks[id]
+	return ok && tr.suspectTicks >= lb.cfg.SuspectTicks
+}
+
+// serves reports whether an instance can host the service: streamlined
+// bundles list their services; incubators accept anything.
+func serves(in *cloud.Instance, service string) bool {
+	img := in.Image()
+	if img.Kind == cloud.Incubator {
+		return true
+	}
+	for _, s := range img.Services {
+		if s == service {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick runs one control-loop iteration synchronously. Exposed so tests
+// and experiments can drive the loop deterministically.
+func (lb *LB) Tick() {
+	lb.mu.Lock()
+	lb.ticks++
+	lb.mu.Unlock()
+
+	lb.observeHealth()
+	lb.replaceMalfunctioning()
+	lb.cfg.Broker.AssignPending()
+	lb.scaleUp()
+	lb.rebalanceToPrivate()
+	lb.scaleDown()
+}
+
+// observeHealth updates rolling per-instance health signals.
+func (lb *LB) observeHealth() {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	live := make(map[string]bool)
+	for _, in := range lb.cfg.Multi.Instances() {
+		live[in.ID()] = true
+		if in.State() != cloud.StateRunning {
+			continue
+		}
+		tr, ok := lb.tracks[in.ID()]
+		if !ok {
+			tr = &instanceTrack{}
+			lb.tracks[in.ID()] = tr
+		}
+		m := in.Snapshot()
+		suspect := false
+		if m.CPUUtil >= lb.cfg.HighCPUThreshold && m.Sessions < lb.cfg.Flavor.MaxSessions {
+			// High CPU not explained by full session load.
+			suspect = true
+		}
+		if tr.seen && m.NetInBytes > tr.lastNetIn && m.NetOutBytes == tr.lastNetOut {
+			// Receiving but never responding.
+			suspect = true
+		}
+		if suspect {
+			tr.suspectTicks++
+		} else {
+			tr.suspectTicks = 0
+		}
+		if m.Sessions == 0 {
+			tr.idleTicks++
+		} else {
+			tr.idleTicks = 0
+		}
+		tr.lastNetIn = m.NetInBytes
+		tr.lastNetOut = m.NetOutBytes
+		tr.seen = true
+	}
+	for id := range lb.tracks {
+		if !live[id] {
+			delete(lb.tracks, id)
+		}
+	}
+}
+
+// replaceMalfunctioning starts replacements for suspect instances and
+// redirects their users.
+func (lb *LB) replaceMalfunctioning() {
+	for _, in := range lb.cfg.Multi.Instances() {
+		if in.State() != cloud.StateRunning || !lb.isSuspect(in.ID()) {
+			continue
+		}
+		sessions := lb.cfg.Broker.SessionsOn(in.ID())
+		// Launch a replacement; capacity may come from either cloud.
+		repl, err := lb.cfg.Multi.Launch(lb.cfg.Image, lb.cfg.Flavor)
+		if err == nil {
+			lb.record("replace", fmt.Sprintf("%s -> %s (%d sessions)", in.ID(), repl.ID(), len(sessions)))
+		} else {
+			lb.record("replace", fmt.Sprintf("%s (no replacement capacity: %v)", in.ID(), err))
+		}
+		// Redirect sessions to any healthy capacity available right now;
+		// the rest fall back to pending and are assigned when the
+		// replacement finishes booting.
+		for _, s := range sessions {
+			target := lb.PlaceNow(s.Service)
+			if target == nil || target.ID() == in.ID() {
+				lb.requeue(s.ID, in.ID())
+				continue
+			}
+			if err := lb.cfg.Broker.Migrate(s.ID, target, "instance "+in.ID()+" malfunctioning"); err != nil {
+				lb.requeue(s.ID, in.ID())
+				continue
+			}
+			lb.record("migrate", s.ID+" off "+in.ID())
+		}
+		if err := lb.cfg.Multi.Terminate(in.ID()); err == nil {
+			lb.record("terminate", in.ID()+" (malfunctioning)")
+			lb.mu.Lock()
+			lb.replaced++
+			lb.mu.Unlock()
+		}
+	}
+}
+
+// requeue returns a session to the broker's pending queue when no healthy
+// capacity can take it right now; it is reassigned once the replacement
+// instance finishes booting.
+func (lb *LB) requeue(sessionID, badInstance string) {
+	if err := lb.cfg.Broker.Suspend(sessionID, "instance "+badInstance+" malfunctioning"); err == nil {
+		lb.record("suspend", sessionID+" (waiting for replacement of "+badInstance+")")
+	}
+}
+
+// scaleUp launches enough instances to cover pending sessions (beyond
+// what is already booting) and the warm floor.
+func (lb *LB) scaleUp() {
+	pending := lb.cfg.Broker.PendingCount()
+	bootingCapacity := 0
+	running := 0
+	for _, in := range lb.cfg.Multi.Instances() {
+		switch in.State() {
+		case cloud.StateBooting:
+			bootingCapacity += lb.cfg.Flavor.MaxSessions
+		case cloud.StateRunning:
+			running++
+		}
+	}
+	need := 0
+	if pending > bootingCapacity {
+		need = int(math.Ceil(float64(pending-bootingCapacity) / float64(lb.cfg.Flavor.MaxSessions)))
+	}
+	// Warm floor counts all live instances.
+	if total := len(lb.cfg.Multi.Instances()); total+need < lb.cfg.MinInstances {
+		need = lb.cfg.MinInstances - total
+	}
+	for i := 0; i < need; i++ {
+		inst, err := lb.cfg.Multi.Launch(lb.cfg.Image, lb.cfg.Flavor)
+		if err != nil {
+			lb.record("launch", "failed: "+err.Error())
+			return
+		}
+		lb.record("launch", inst.ID()+" ("+inst.Kind().String()+")")
+	}
+}
+
+// rebalanceToPrivate migrates sessions from public instances back to free
+// private capacity — the reversal of cloudbursting.
+func (lb *LB) rebalanceToPrivate() {
+	for _, in := range lb.cfg.Multi.Instances() {
+		if in.Kind() != cloud.Public || in.State() != cloud.StateRunning {
+			continue
+		}
+		for _, s := range lb.cfg.Broker.SessionsOn(in.ID()) {
+			target := lb.privateSlot(s.Service)
+			if target == nil {
+				return // no private capacity left at all
+			}
+			if err := lb.cfg.Broker.Migrate(s.ID, target, "rebalancing to private cloud"); err != nil {
+				continue
+			}
+			lb.record("migrate", s.ID+" back to "+target.ID())
+		}
+	}
+}
+
+func (lb *LB) privateSlot(service string) *cloud.Instance {
+	for _, in := range lb.cfg.Multi.Instances() {
+		if in.Kind() == cloud.Private && in.State() == cloud.StateRunning &&
+			!in.Saturated() && serves(in, service) && !lb.isSuspect(in.ID()) {
+			return in
+		}
+	}
+	return nil
+}
+
+// scaleDown reclaims instances idle for IdleTicks consecutive ticks,
+// public first (cost), respecting the warm floor.
+func (lb *LB) scaleDown() {
+	instances := lb.cfg.Multi.Instances()
+	total := len(instances)
+	// Public first, then private.
+	ordered := make([]*cloud.Instance, 0, total)
+	for _, in := range instances {
+		if in.Kind() == cloud.Public {
+			ordered = append(ordered, in)
+		}
+	}
+	for _, in := range instances {
+		if in.Kind() == cloud.Private {
+			ordered = append(ordered, in)
+		}
+	}
+	for _, in := range ordered {
+		if total <= lb.cfg.MinInstances {
+			return
+		}
+		if in.State() != cloud.StateRunning || in.Sessions() > 0 {
+			continue
+		}
+		lb.mu.Lock()
+		tr := lb.tracks[in.ID()]
+		idle := tr != nil && tr.idleTicks >= lb.cfg.IdleTicks
+		lb.mu.Unlock()
+		if !idle {
+			continue
+		}
+		if err := lb.cfg.Multi.Terminate(in.ID()); err == nil {
+			lb.record("terminate", in.ID()+" (idle "+in.Kind().String()+")")
+			total--
+		}
+	}
+}
+
+func (lb *LB) record(action, detail string) {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	lb.events = append(lb.events, Event{At: lb.cfg.Clock.Now(), Action: action, Detail: detail})
+}
+
+// Events returns a copy of the management event log.
+func (lb *LB) Events() []Event {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	out := make([]Event, len(lb.events))
+	copy(out, lb.events)
+	return out
+}
+
+// Ticks returns how many control iterations have run.
+func (lb *LB) Ticks() int {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.ticks
+}
+
+// Replaced returns how many malfunctioning instances were replaced.
+func (lb *LB) Replaced() int {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return lb.replaced
+}

@@ -1,0 +1,152 @@
+package modellib
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"evop/internal/cloud"
+)
+
+var epoch = time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func fixedNow() time.Time { return epoch }
+
+func TestPublishStreamlinedVersioning(t *testing.T) {
+	l := New(fixedNow)
+	v1, err := l.PublishStreamlined("topmodel", "morland", map[string]float64{"m": 28}, time.Minute, "initial calibration")
+	if err != nil {
+		t.Fatalf("PublishStreamlined: %v", err)
+	}
+	if v1.Version != 1 || v1.Image.ID != "topmodel-morland-v1" {
+		t.Fatalf("v1 = %+v", v1)
+	}
+	if v1.Image.Kind != cloud.Streamlined {
+		t.Fatalf("kind = %v", v1.Image.Kind)
+	}
+	if len(v1.Image.Services) != 1 || v1.Image.Services[0] != "topmodel" {
+		t.Fatalf("services = %v", v1.Image.Services)
+	}
+	if !v1.PublishedAt.Equal(epoch) {
+		t.Fatalf("publishedAt = %v", v1.PublishedAt)
+	}
+
+	v2, err := l.PublishStreamlined("topmodel", "morland", map[string]float64{"m": 31}, time.Minute, "recalibrated with 2019 floods")
+	if err != nil {
+		t.Fatalf("publish v2: %v", err)
+	}
+	if v2.Version != 2 {
+		t.Fatalf("v2.Version = %d", v2.Version)
+	}
+
+	latest, err := l.Latest("topmodel", "morland")
+	if err != nil || latest.Version != 2 {
+		t.Fatalf("Latest = %+v, %v", latest, err)
+	}
+	old, err := l.Version("topmodel", "morland", 1)
+	if err != nil || old.Version != 1 {
+		t.Fatalf("Version(1) = %+v, %v", old, err)
+	}
+	if _, err := l.Version("topmodel", "morland", 3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Version(3) err = %v", err)
+	}
+	if _, err := l.Version("topmodel", "morland", 0); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Version(0) err = %v", err)
+	}
+}
+
+func TestPublishValidation(t *testing.T) {
+	l := New(nil)
+	if _, err := l.PublishStreamlined("", "morland", nil, 0, ""); !errors.Is(err, ErrBadEntry) {
+		t.Fatalf("empty model err = %v", err)
+	}
+	if _, err := l.PublishStreamlined("topmodel", "", nil, 0, ""); !errors.Is(err, ErrBadEntry) {
+		t.Fatalf("empty catchment err = %v", err)
+	}
+	if _, err := l.PublishStreamlined("topmodel", "morland", func() {}, 0, ""); err == nil {
+		t.Fatal("unencodable params accepted")
+	}
+	if _, err := l.PublishIncubator("", 0, ""); !errors.Is(err, ErrBadEntry) {
+		t.Fatalf("empty incubator err = %v", err)
+	}
+}
+
+func TestIncubators(t *testing.T) {
+	l := New(fixedNow)
+	if _, err := l.AnyIncubator(); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("empty AnyIncubator err = %v", err)
+	}
+	a, err := l.PublishIncubator("general", 5*time.Minute, "generic testbed")
+	if err != nil {
+		t.Fatalf("PublishIncubator: %v", err)
+	}
+	if a.Image.Kind != cloud.Incubator || a.Image.ExtraBootDelay != 5*time.Minute {
+		t.Fatalf("incubator image = %+v", a.Image)
+	}
+	b, _ := l.PublishIncubator("gpu", time.Minute, "")
+	got, err := l.AnyIncubator()
+	if err != nil || got.Image.ID != b.Image.ID {
+		t.Fatalf("AnyIncubator = %+v, %v (want most recent)", got, err)
+	}
+}
+
+func TestLatestUnknown(t *testing.T) {
+	l := New(nil)
+	if _, err := l.Latest("fuse", "tarland"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Latest unknown err = %v", err)
+	}
+}
+
+func TestListAndForService(t *testing.T) {
+	l := New(fixedNow)
+	l.PublishStreamlined("topmodel", "morland", nil, 0, "")
+	l.PublishStreamlined("topmodel", "morland", nil, 0, "")
+	l.PublishStreamlined("topmodel", "tarland", nil, 0, "")
+	l.PublishStreamlined("fuse-1211", "morland", nil, 0, "")
+	l.PublishIncubator("general", 0, "")
+
+	all := l.List()
+	if len(all) != 5 {
+		t.Fatalf("List = %d entries, want 5", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].Image.ID < all[i-1].Image.ID {
+			t.Fatal("List not sorted by image ID")
+		}
+	}
+
+	tm := l.ForService("topmodel")
+	if len(tm) != 2 {
+		t.Fatalf("ForService(topmodel) = %d, want 2 (latest per catchment)", len(tm))
+	}
+	for _, e := range tm {
+		if e.ModelName != "topmodel" {
+			t.Fatalf("wrong model %q", e.ModelName)
+		}
+	}
+	// Latest version only.
+	for _, e := range tm {
+		if e.CatchmentID == "morland" && e.Version != 2 {
+			t.Fatalf("morland version = %d, want 2", e.Version)
+		}
+	}
+	if got := l.ForService("ghost"); len(got) != 0 {
+		t.Fatalf("ForService(ghost) = %v", got)
+	}
+}
+
+func TestCalibratedParamsRoundTrip(t *testing.T) {
+	l := New(fixedNow)
+	type params struct {
+		M    float64 `json:"m"`
+		LnTe float64 `json:"lnTe"`
+	}
+	in := params{M: 28.5, LnTe: 5.1}
+	e, err := l.PublishStreamlined("topmodel", "morland", in, 0, "")
+	if err != nil {
+		t.Fatalf("publish: %v", err)
+	}
+	if string(e.CalibratedParams) != `{"m":28.5,"lnTe":5.1}` {
+		t.Fatalf("params JSON = %s", e.CalibratedParams)
+	}
+}

@@ -1,0 +1,194 @@
+// Package sos implements an OGC Sensor Observation Service (SOS-style)
+// interface over the simulated in-situ sensor network. The paper's data
+// layer adopts SOS alongside WPS as the geospatial-community standards
+// EVOp must speak to remain interoperable with external data providers.
+//
+// Supported operations (KVP GET binding):
+//
+//	?service=SOS&request=GetCapabilities
+//	?service=SOS&request=DescribeSensor&procedure=<sensorId>
+//	?service=SOS&request=GetObservation&procedure=<sensorId>
+//	    [&from=RFC3339&to=RFC3339]
+//
+// Responses are XML documents with O&M-style observation members.
+package sos
+
+import (
+	"encoding/xml"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"evop/internal/sensor"
+)
+
+// Service is the SOS endpoint over one sensor network; it implements
+// http.Handler.
+type Service struct {
+	title   string
+	network *sensor.Network
+	clk     interface{ Now() time.Time }
+}
+
+var _ http.Handler = (*Service)(nil)
+
+// NewService wraps a sensor network. clk supplies "now" for unbounded
+// GetObservation windows.
+func NewService(title string, network *sensor.Network, clk interface{ Now() time.Time }) (*Service, error) {
+	if network == nil || clk == nil {
+		return nil, fmt.Errorf("sos: nil network or clock")
+	}
+	return &Service{title: title, network: network, clk: clk}, nil
+}
+
+type xmlCapabilities struct {
+	XMLName   xml.Name      `xml:"sos:Capabilities"`
+	Title     string        `xml:"ows:ServiceIdentification>ows:Title"`
+	Type      string        `xml:"ows:ServiceIdentification>ows:ServiceType"`
+	Offerings []xmlOffering `xml:"sos:Contents>sos:ObservationOfferingList>sos:ObservationOffering"`
+}
+
+type xmlOffering struct {
+	Procedure        string  `xml:"sos:procedure"`
+	ObservedProperty string  `xml:"sos:observedProperty"`
+	UOM              string  `xml:"sos:uom"`
+	Catchment        string  `xml:"sos:featureOfInterest"`
+	Lat              float64 `xml:"sos:position>gml:lat"`
+	Lon              float64 `xml:"sos:position>gml:lon"`
+}
+
+type xmlSensorML struct {
+	XMLName   xml.Name `xml:"sml:SensorML"`
+	ID        string   `xml:"sml:System>sml:identifier"`
+	Kind      string   `xml:"sml:System>sml:classifier"`
+	Catchment string   `xml:"sml:System>sml:attachedTo"`
+	IntervalS float64  `xml:"sml:System>sml:samplingInterval"`
+	Lat       float64  `xml:"sml:System>sml:position>gml:lat"`
+	Lon       float64  `xml:"sml:System>sml:position>gml:lon"`
+}
+
+type xmlObservationCollection struct {
+	XMLName xml.Name         `xml:"om:ObservationCollection"`
+	Members []xmlObservation `xml:"om:member>om:Observation"`
+}
+
+type xmlObservation struct {
+	Procedure string  `xml:"om:procedure"`
+	Property  string  `xml:"om:observedProperty"`
+	Time      string  `xml:"om:samplingTime"`
+	Value     float64 `xml:"om:result"`
+	UOM       string  `xml:"om:uom,attr"`
+}
+
+type xmlException struct {
+	XMLName   xml.Name `xml:"ows:ExceptionReport"`
+	Exception struct {
+		Code string `xml:"exceptionCode,attr"`
+		Text string `xml:"ows:ExceptionText"`
+	} `xml:"ows:Exception"`
+}
+
+func writeXML(w http.ResponseWriter, status int, doc any) {
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(status)
+	w.Write([]byte(xml.Header))
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+func writeException(w http.ResponseWriter, status int, code, text string) {
+	var doc xmlException
+	doc.Exception.Code = code
+	doc.Exception.Text = text
+	writeXML(w, status, doc)
+}
+
+// ServeHTTP implements the KVP GET binding.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if !strings.EqualFold(q.Get("service"), "SOS") {
+		writeException(w, http.StatusBadRequest, "InvalidParameterValue", "service must be SOS")
+		return
+	}
+	switch strings.ToLower(q.Get("request")) {
+	case "getcapabilities":
+		s.getCapabilities(w)
+	case "describesensor":
+		s.describeSensor(w, q.Get("procedure"))
+	case "getobservation":
+		s.getObservation(w, q.Get("procedure"), q.Get("from"), q.Get("to"))
+	default:
+		writeException(w, http.StatusBadRequest, "OperationNotSupported", q.Get("request"))
+	}
+}
+
+func (s *Service) getCapabilities(w http.ResponseWriter) {
+	doc := xmlCapabilities{Title: s.title, Type: "SOS"}
+	for _, sn := range s.network.Sensors() {
+		doc.Offerings = append(doc.Offerings, xmlOffering{
+			Procedure:        sn.ID,
+			ObservedProperty: sn.Kind.String(),
+			UOM:              sn.Kind.Unit(),
+			Catchment:        sn.CatchmentID,
+			Lat:              sn.Location.Lat,
+			Lon:              sn.Location.Lon,
+		})
+	}
+	writeXML(w, http.StatusOK, doc)
+}
+
+func (s *Service) describeSensor(w http.ResponseWriter, id string) {
+	sn, err := s.network.Get(id)
+	if err != nil {
+		writeException(w, http.StatusNotFound, "InvalidParameterValue", "no procedure "+id)
+		return
+	}
+	writeXML(w, http.StatusOK, xmlSensorML{
+		ID: sn.ID, Kind: sn.Kind.String(), Catchment: sn.CatchmentID,
+		IntervalS: sn.Interval.Seconds(),
+		Lat:       sn.Location.Lat, Lon: sn.Location.Lon,
+	})
+}
+
+func (s *Service) getObservation(w http.ResponseWriter, id, fromRaw, toRaw string) {
+	sn, err := s.network.Get(id)
+	if err != nil {
+		writeException(w, http.StatusNotFound, "InvalidParameterValue", "no procedure "+id)
+		return
+	}
+	now := s.clk.Now()
+	from := now.Add(-24 * time.Hour)
+	to := now.Add(time.Nanosecond)
+	if fromRaw != "" {
+		from, err = time.Parse(time.RFC3339, fromRaw)
+		if err != nil {
+			writeException(w, http.StatusBadRequest, "InvalidParameterValue", "bad from time")
+			return
+		}
+	}
+	if toRaw != "" {
+		to, err = time.Parse(time.RFC3339, toRaw)
+		if err != nil {
+			writeException(w, http.StatusBadRequest, "InvalidParameterValue", "bad to time")
+			return
+		}
+	}
+	obs, err := s.network.History(id, from, to)
+	if err != nil {
+		writeException(w, http.StatusNotFound, "InvalidParameterValue", err.Error())
+		return
+	}
+	doc := xmlObservationCollection{}
+	for _, o := range obs {
+		doc.Members = append(doc.Members, xmlObservation{
+			Procedure: sn.ID,
+			Property:  sn.Kind.String(),
+			Time:      o.Time.UTC().Format(time.RFC3339),
+			Value:     o.Value,
+			UOM:       sn.Kind.Unit(),
+		})
+	}
+	writeXML(w, http.StatusOK, doc)
+}

@@ -1,0 +1,161 @@
+package sos
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"evop/internal/clock"
+	"evop/internal/geo"
+	"evop/internal/sensor"
+)
+
+var epoch = time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func testService(t *testing.T) (*httptest.Server, *clock.Simulated) {
+	t.Helper()
+	clk := clock.NewSimulated(epoch)
+	n, err := sensor.NewNetwork(clk)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	sensors, err := sensor.LEFTDeployment(clk, "morland", geo.Point{Lat: 54.596, Lon: -2.643}, 101, epoch)
+	if err != nil {
+		t.Fatalf("LEFTDeployment: %v", err)
+	}
+	for _, s := range sensors {
+		if err := n.Add(s); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	n.Start()
+	t.Cleanup(n.Stop)
+	clk.Advance(6 * time.Hour)
+
+	svc, err := NewService("EVOp SOS", n, clk)
+	if err != nil {
+		t.Fatalf("NewService: %v", err)
+	}
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+	return srv, clk
+}
+
+func get(t *testing.T, rawURL string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body)
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	if _, err := NewService("x", nil, clock.NewSimulated(epoch)); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	clk := clock.NewSimulated(epoch)
+	n, _ := sensor.NewNetwork(clk)
+	if _, err := NewService("x", n, nil); err == nil {
+		t.Fatal("nil clock accepted")
+	}
+}
+
+func TestGetCapabilitiesListsOfferings(t *testing.T) {
+	srv, _ := testService(t)
+	code, body := get(t, srv.URL+"?service=SOS&request=GetCapabilities")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{
+		"sos:Capabilities", "morland-level-1", "morland-cam-1",
+		"riverLevel", "<sos:uom>m</sos:uom>",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("capabilities missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestDescribeSensor(t *testing.T) {
+	srv, _ := testService(t)
+	code, body := get(t, srv.URL+"?service=SOS&request=DescribeSensor&procedure=morland-turb-1")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	for _, want := range []string{"sml:SensorML", "turbidity", "morland"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("sensorML missing %q:\n%s", want, body)
+		}
+	}
+	code, _ = get(t, srv.URL+"?service=SOS&request=DescribeSensor&procedure=ghost")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown sensor status = %d", code)
+	}
+}
+
+func TestGetObservationDefaultWindow(t *testing.T) {
+	srv, _ := testService(t)
+	code, body := get(t, srv.URL+"?service=SOS&request=GetObservation&procedure=morland-level-1")
+	if code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	// 6 hours of 15-minute sampling = 24 observations.
+	if got := strings.Count(body, "<om:samplingTime>"); got != 24 {
+		t.Fatalf("observations = %d, want 24\n%s", got, body[:min(len(body), 600)])
+	}
+	if !strings.Contains(body, "om:ObservationCollection") {
+		t.Fatalf("not an observation collection:\n%s", body[:min(len(body), 300)])
+	}
+}
+
+func TestGetObservationExplicitWindow(t *testing.T) {
+	srv, _ := testService(t)
+	from := epoch.Add(time.Hour).Format(time.RFC3339)
+	to := epoch.Add(2 * time.Hour).Format(time.RFC3339)
+	_, body := get(t, srv.URL+"?service=SOS&request=GetObservation&procedure=morland-rain-1&from="+from+"&to="+to)
+	// Hourly rain gauge: exactly 1 observation in [1h, 2h).
+	if got := strings.Count(body, "<om:samplingTime>"); got != 1 {
+		t.Fatalf("observations = %d, want 1\n%s", got, body)
+	}
+}
+
+func TestGetObservationBadTimes(t *testing.T) {
+	srv, _ := testService(t)
+	code, _ := get(t, srv.URL+"?service=SOS&request=GetObservation&procedure=morland-rain-1&from=yesterday")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad from status = %d", code)
+	}
+	code, _ = get(t, srv.URL+"?service=SOS&request=GetObservation&procedure=morland-rain-1&to=tomorrow")
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad to status = %d", code)
+	}
+	code, _ = get(t, srv.URL+"?service=SOS&request=GetObservation&procedure=ghost")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown procedure status = %d", code)
+	}
+}
+
+func TestBadServiceAndRequest(t *testing.T) {
+	srv, _ := testService(t)
+	code, body := get(t, srv.URL+"?service=WPS&request=GetCapabilities")
+	if code != http.StatusBadRequest || !strings.Contains(body, "ExceptionReport") {
+		t.Fatalf("wrong service: %d %s", code, body)
+	}
+	code, _ = get(t, srv.URL+"?service=SOS&request=Nuke")
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown request status = %d", code)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,45 @@
+package wps
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDataInputs hardens the KVP input parser.
+func FuzzParseDataInputs(f *testing.F) {
+	f.Add("a=1;b=2")
+	f.Add("a=x=y;;")
+	f.Add("=v")
+	f.Fuzz(func(t *testing.T, raw string) {
+		inputs, err := ParseDataInputs(raw)
+		if err != nil {
+			return
+		}
+		for k := range inputs {
+			if k == "" {
+				t.Fatal("accepted empty input key")
+			}
+		}
+	})
+}
+
+// FuzzParseExecuteDocument hardens the XML POST parser.
+func FuzzParseExecuteDocument(f *testing.F) {
+	f.Add(`<Execute><Identifier>add</Identifier></Execute>`)
+	f.Add(`<Execute storeExecuteResponse="true"><Identifier>x</Identifier><DataInputs><Input><Identifier>a</Identifier><Data><LiteralData>1</LiteralData></Data></Input></DataInputs></Execute>`)
+	f.Add(`<broken`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		id, inputs, _, err := parseExecuteDocument(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if id == "" {
+			t.Fatal("accepted empty identifier")
+		}
+		for k := range inputs {
+			if k == "" {
+				t.Fatal("accepted empty input key")
+			}
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package wps
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// This file adds the WPS document (XML POST) binding alongside the KVP
+// GET binding: clients POST a wps:Execute document, as most OGC tooling
+// does. Both bindings reach the same process registry.
+
+// xmlExecuteRequest is the accepted subset of a wps:Execute document.
+type xmlExecuteRequest struct {
+	XMLName    xml.Name `xml:"Execute"`
+	Identifier string   `xml:"Identifier"`
+	Inputs     []struct {
+		Identifier string `xml:"Identifier"`
+		Data       struct {
+			LiteralData string `xml:"LiteralData"`
+		} `xml:"Data"`
+	} `xml:"DataInputs>Input"`
+	// StoreExecuteResponse requests asynchronous execution.
+	StoreExecuteResponse bool `xml:"storeExecuteResponse,attr"`
+}
+
+// parseExecuteDocument decodes a wps:Execute XML document into a process
+// identifier, inputs, and the async flag. Namespace prefixes are accepted
+// on any element (encoding/xml matches local names).
+func parseExecuteDocument(r io.Reader) (id string, inputs map[string]string, async bool, err error) {
+	var doc xmlExecuteRequest
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return "", nil, false, fmt.Errorf("parsing execute document: %w", ErrBadRequest)
+	}
+	id = strings.TrimSpace(doc.Identifier)
+	if id == "" {
+		return "", nil, false, fmt.Errorf("execute document has no process identifier: %w", ErrBadRequest)
+	}
+	inputs = make(map[string]string, len(doc.Inputs))
+	for i, in := range doc.Inputs {
+		key := strings.TrimSpace(in.Identifier)
+		if key == "" {
+			return "", nil, false, fmt.Errorf("input %d has no identifier: %w", i, ErrBadRequest)
+		}
+		inputs[key] = in.Data.LiteralData
+	}
+	return id, inputs, doc.StoreExecuteResponse, nil
+}
+
+// servePost handles the XML POST binding.
+func (s *Service) servePost(w http.ResponseWriter, r *http.Request) {
+	id, inputs, async, err := parseExecuteDocument(r.Body)
+	if err != nil {
+		writeException(w, http.StatusBadRequest, "InvalidParameterValue", err.Error())
+		return
+	}
+	s.executeParsed(w, id, inputs, async)
+}

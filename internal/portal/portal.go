@@ -1,0 +1,498 @@
+// Package portal implements the EVOp web portal: the single HTTP surface
+// through which all user groups reach the observatory (paper Sections
+// III-IV). It serves:
+//
+//   - the interactive map layer: GeoJSON geotagged markers for sensors,
+//     webcams and catchment outlets (the Fig. 4 landing page data);
+//   - time-series widgets: sensor history in the Flot [[t,v],...] shape;
+//   - the multimodal widget (Fig. 5): temperature + turbidity + webcam
+//     frame fused at an instant;
+//   - the LEFT modelling widget backend (Fig. 6): scenario presets and
+//     on-demand model runs returning hydrographs;
+//   - the REST asset API, the OGC WPS and SOS services;
+//   - the Resource Broker's WebSocket session channel, over which
+//     assignment/migration updates are pushed to the browser.
+package portal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"evop/internal/broker"
+	"evop/internal/core"
+	"evop/internal/geo"
+	"evop/internal/rest"
+	"evop/internal/scenario"
+	"evop/internal/sensor"
+	"evop/internal/timeseries"
+	"evop/internal/ws"
+)
+
+// Portal is the EVOp web front end; it implements http.Handler.
+type Portal struct {
+	obs *core.Observatory
+	mux *http.ServeMux
+}
+
+var _ http.Handler = (*Portal)(nil)
+
+// New builds the portal over an observatory.
+func New(obs *core.Observatory) (*Portal, error) {
+	if obs == nil {
+		return nil, errors.New("portal: nil observatory")
+	}
+	p := &Portal{obs: obs, mux: http.NewServeMux()}
+	p.mux.Handle("/api/", rest.NewHandler(obs.Assets))
+	p.mux.Handle("/wps", obs.WPS)
+	p.mux.Handle("/sos", obs.SOS)
+	p.mux.HandleFunc("/", p.index)
+	p.mux.HandleFunc("/healthz", p.health)
+	p.mux.HandleFunc("/metrics", p.metrics)
+	p.mux.HandleFunc("/map/layers", p.mapLayers)
+	p.mux.HandleFunc("/sensors/", p.sensors)
+	p.mux.HandleFunc("/widgets/fusion", p.fusion)
+	p.mux.HandleFunc("/widgets/model/run", p.modelRun)
+	p.mux.HandleFunc("/widgets/model/scenarios", p.scenarios)
+	p.mux.HandleFunc("/widgets/model/storm-window", p.stormWindow)
+	p.mux.HandleFunc("/widgets/quality", p.qualityWidget)
+	p.mux.HandleFunc("/widgets/lowflow", p.lowflowWidget)
+	p.mux.HandleFunc("/datasets/upload", p.uploadDataset)
+	p.mux.HandleFunc("/sessions/connect", p.sessionConnect)
+	p.mux.HandleFunc("/sessions/", p.sessionGet)
+	p.mux.HandleFunc("/ws/session", p.sessionSocket)
+	p.mux.Handle("/workflows", obs.Workflows)
+	p.mux.Handle("/workflows/", obs.Workflows)
+	return p, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Portal) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.mux.ServeHTTP(w, r)
+}
+
+// index serves a minimal landing page listing the portal's surfaces —
+// the role of the paper's Fig. 4 landing page, without the Google Maps
+// front end (the data contracts live at the listed endpoints).
+func (p *Portal) index(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no route " + r.URL.Path})
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = io.WriteString(w, indexHTML)
+}
+
+const indexHTML = `<!DOCTYPE html>
+<html><head><title>EVOp portal</title></head><body>
+<h1>Environmental Virtual Observatory pilot</h1>
+<p>A cloud-enabled virtual research space for environmental science.</p>
+<ul>
+<li><a href="/map/layers">/map/layers</a> &mdash; geotagged asset markers (GeoJSON)</li>
+<li><a href="/api/catchments">/api/catchments</a>, <a href="/api/sensors">/api/sensors</a>, <a href="/api/models">/api/models</a>, <a href="/api/scenarios">/api/scenarios</a> &mdash; REST assets</li>
+<li><a href="/sensors/morland-level-1/latest">/sensors/&lt;id&gt;/latest</a>, /sensors/&lt;id&gt;/series &mdash; live and historical readings</li>
+<li><a href="/widgets/fusion?catchment=morland">/widgets/fusion</a> &mdash; multimodal sensor + webcam view</li>
+<li><a href="/widgets/model/scenarios">/widgets/model/scenarios</a>, POST /widgets/model/run &mdash; the flood modelling widget</li>
+<li><a href="/widgets/quality?catchment=morland&amp;scenario=compaction">/widgets/quality</a> &mdash; water-quality impact</li>
+<li><a href="/wps?service=WPS&amp;request=GetCapabilities">/wps</a>, <a href="/sos?service=SOS&amp;request=GetCapabilities">/sos</a> &mdash; OGC services</li>
+<li>POST /workflows &mdash; composed, replayable experiments</li>
+<li><a href="/metrics">/metrics</a> &mdash; infrastructure snapshot</li>
+<li>WS /ws/session &mdash; Resource Broker session channel</li>
+</ul>
+</body></html>
+`
+
+func (p *Portal) health(w http.ResponseWriter, _ *http.Request) {
+	rest.WriteJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// metrics serves the operational snapshot the infrastructure operator
+// watches: instance counts, session states, cost, management activity.
+func (p *Portal) metrics(w http.ResponseWriter, _ *http.Request) {
+	rest.WriteJSON(w, http.StatusOK, p.obs.Metrics())
+}
+
+// mapLayers serves the geotagged marker layer: every sensor and every
+// catchment outlet, optionally filtered by ?catchment=.
+func (p *Portal) mapLayers(w http.ResponseWriter, r *http.Request) {
+	filter := r.URL.Query().Get("catchment")
+	var fc geo.FeatureCollection
+	for _, c := range p.obs.Catchments.All() {
+		if filter != "" && c.ID != filter {
+			continue
+		}
+		fc.Features = append(fc.Features, geo.Feature{
+			ID:       "outlet-" + c.ID,
+			Geometry: c.Outlet,
+			Properties: map[string]any{
+				"type": "catchmentOutlet", "name": c.Name, "catchment": c.ID,
+			},
+		})
+		if poly, err := c.Outline(); err == nil {
+			fc.Features = append(fc.Features, geo.Feature{
+				ID:      "boundary-" + c.ID,
+				Outline: poly.Ring(),
+				Properties: map[string]any{
+					"type": "catchmentBoundary", "name": c.Name, "catchment": c.ID,
+					"areaKm2": c.AreaKM2,
+				},
+			})
+		}
+	}
+	for _, s := range p.obs.Network.Sensors() {
+		if filter != "" && s.CatchmentID != filter {
+			continue
+		}
+		fc.Features = append(fc.Features, geo.Feature{
+			ID:       s.ID,
+			Geometry: s.Location,
+			Properties: map[string]any{
+				"type": "sensor", "kind": s.Kind.String(), "unit": s.Kind.Unit(),
+				"catchment": s.CatchmentID,
+			},
+		})
+	}
+	rest.WriteJSON(w, http.StatusOK, fc)
+}
+
+// sensors serves /sensors/<id>/latest and /sensors/<id>/series.
+func (p *Portal) sensors(w http.ResponseWriter, r *http.Request) {
+	rest := r.URL.Path[len("/sensors/"):]
+	var id, op string
+	if i := lastSlash(rest); i >= 0 {
+		id, op = rest[:i], rest[i+1:]
+	}
+	switch op {
+	case "latest":
+		reading, err := p.obs.Network.Latest(id)
+		if err != nil {
+			writeSensorErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, reading)
+	case "series":
+		p.sensorSeries(w, r, id)
+	default:
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "use /sensors/<id>/latest or /series"})
+	}
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	rest.WriteJSON(w, status, v)
+}
+
+func writeSensorErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, sensor.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, sensor.ErrNoData):
+		status = http.StatusNotFound
+	case errors.Is(err, sensor.ErrBadSensor):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// sensorSeries returns a sensor's history as a Flot pair array — exactly
+// what the portal's time-series widgets plotted.
+func (p *Portal) sensorSeries(w http.ResponseWriter, r *http.Request, id string) {
+	q := r.URL.Query()
+	to := timeOrDefault(q.Get("to"), p.nowFallback())
+	from := timeOrDefault(q.Get("from"), to.Add(-24*time.Hour))
+	obs, err := p.obs.Network.History(id, from, to)
+	if err != nil {
+		writeSensorErr(w, err)
+		return
+	}
+	ir := timeseries.NewIrregular(obs)
+	pairs := make([][2]float64, 0, ir.Len())
+	for _, o := range ir.Observations() {
+		pairs = append(pairs, [2]float64{float64(o.Time.UnixMilli()), o.Value})
+	}
+	writeJSON(w, http.StatusOK, pairs)
+}
+
+func (p *Portal) nowFallback() time.Time {
+	// Use the latest reading across the network as "now"; fall back to
+	// wall clock for an idle network.
+	latest := time.Time{}
+	for _, s := range p.obs.Network.Sensors() {
+		if r, err := p.obs.Network.Latest(s.ID); err == nil && r.Time.After(latest) {
+			latest = r.Time
+		}
+	}
+	if latest.IsZero() {
+		return time.Now()
+	}
+	return latest.Add(time.Nanosecond)
+}
+
+func timeOrDefault(raw string, def time.Time) time.Time {
+	if raw == "" {
+		return def
+	}
+	t, err := time.Parse(time.RFC3339, raw)
+	if err != nil {
+		return def
+	}
+	return t
+}
+
+// fusion serves the Fig. 5 multimodal widget:
+// ?catchment=morland&at=RFC3339.
+func (p *Portal) fusion(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	cid := q.Get("catchment")
+	if cid == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "catchment required"})
+		return
+	}
+	at := timeOrDefault(q.Get("at"), p.nowFallback())
+	fused, err := p.obs.Network.Fuse(cid+"-temp-1", cid+"-turb-1", cid+"-cam-1", at)
+	if err != nil {
+		writeSensorErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, fused)
+}
+
+// scenarios lists the widget's preset buttons.
+func (p *Portal) scenarios(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, scenario.All())
+}
+
+// qualityWidget answers the water-quality storyboard:
+// GET /widgets/quality?catchment=morland&scenario=compaction.
+func (p *Portal) qualityWidget(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	res, err := p.obs.RunQuality(q.Get("catchment"), q.Get("scenario"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// uploadDataset accepts a user-provided hourly rainfall CSV
+// ("time,value" rows, RFC 3339 times):
+// POST /datasets/upload?id=my-gauge  with the CSV as the body.
+// The dataset becomes usable in model runs via "rainDataset".
+func (p *Portal) uploadDataset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+		return
+	}
+	id := r.URL.Query().Get("id")
+	series, err := timeseries.ReadCSV(r.Body, time.Hour)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "parsing CSV: " + err.Error()})
+		return
+	}
+	if err := p.obs.UploadDataset(id, series); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "samples": series.Len()})
+}
+
+// lowflowWidget answers the drought-side questions:
+// GET /widgets/lowflow?catchment=morland&scenario=afforestation.
+func (p *Portal) lowflowWidget(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	res, err := p.obs.RunLowFlow(q.Get("catchment"), q.Get("scenario"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// stormWindow suggests where to place a design storm so land-use effects
+// are not masked by saturated antecedent conditions:
+// GET /widgets/model/storm-window?catchment=morland.
+func (p *Portal) stormWindow(w http.ResponseWriter, r *http.Request) {
+	cid := r.URL.Query().Get("catchment")
+	hours, err := p.obs.DriestStormWindow(cid, 5)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"stormAtHours": hours})
+}
+
+// modelRun executes the LEFT modelling widget's request: a JSON
+// core.RunRequest in, the hydrograph and summary out (hydrograph in Flot
+// encoding, ready for the chart).
+func (p *Portal) modelRun(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+		return
+	}
+	var req core.RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
+		return
+	}
+	res, err := p.obs.RunModel(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		writeJSON(w, status, map[string]string{"error": err.Error()})
+		return
+	}
+	flot, err := res.Discharge.FlotJSON()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"hydrograph":  json.RawMessage(flot),
+		"peakMm":      res.PeakMM,
+		"peakAt":      res.PeakAt,
+		"volumeMm":    res.VolumeMM,
+		"runoffRatio": res.RunoffRatio,
+		"stormPeakMm": res.StormPeakMM,
+		"model":       res.Model,
+		"scenario":    res.Scenario,
+	})
+}
+
+// sessionConnect opens a broker session without a WebSocket (the polling
+// comparator): POST /sessions/connect?user=&service=.
+func (p *Portal) sessionConnect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
+		return
+	}
+	q := r.URL.Query()
+	s, err := p.obs.Broker.Connect(q.Get("user"), q.Get("service"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, s)
+}
+
+// sessionGet polls a session's state: GET /sessions/<id>. DELETE ends it.
+func (p *Portal) sessionGet(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Path[len("/sessions/"):]
+	switch r.Method {
+	case http.MethodGet:
+		s, err := p.obs.Broker.Session(id)
+		if err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, s)
+	case http.MethodDelete:
+		if err := p.obs.Broker.Disconnect(id); err != nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": r.Method})
+	}
+}
+
+// sessionSocket upgrades to a WebSocket, opens a broker session and
+// pushes every session update as a JSON message — the paper's RB↔browser
+// channel. The session ends when the socket closes.
+func (p *Portal) sessionSocket(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	user, service := q.Get("user"), q.Get("service")
+	conn, err := ws.Upgrade(w, r)
+	if err != nil {
+		return // Upgrade already wrote the HTTP error
+	}
+	s, err := p.obs.Broker.Connect(user, service)
+	if err != nil {
+		conn.Close(ws.CloseInternalErr, err.Error())
+		return
+	}
+	updates, err := p.obs.Broker.Subscribe(s.ID)
+	if err != nil {
+		conn.Close(ws.CloseInternalErr, err.Error())
+		return
+	}
+	// Send the initial session snapshot.
+	if !p.sendSession(conn, broker.Update{Kind: initialKind(s), Session: s}) {
+		p.obs.Broker.Disconnect(s.ID)
+		return
+	}
+
+	done := make(chan struct{})
+	// Reader: detect client close; any inbound message is ignored.
+	go func() {
+		defer close(done)
+		for {
+			if _, err := conn.ReadMessage(); err != nil {
+				return
+			}
+		}
+	}()
+	// Writer: forward updates until the session or socket ends.
+	for {
+		select {
+		case u, ok := <-updates:
+			if !ok {
+				conn.Close(ws.CloseNormal, "session ended")
+				<-done
+				return
+			}
+			if !p.sendSession(conn, u) {
+				p.obs.Broker.Disconnect(s.ID)
+				<-done
+				return
+			}
+		case <-done:
+			p.obs.Broker.Disconnect(s.ID)
+			return
+		}
+	}
+}
+
+func initialKind(s broker.Session) broker.UpdateKind {
+	if s.State == broker.Active {
+		return broker.UpdateAssigned
+	}
+	return broker.UpdateSuspended
+}
+
+func (p *Portal) sendSession(conn *ws.Conn, u broker.Update) bool {
+	payload, err := json.Marshal(struct {
+		Kind    string         `json:"kind"`
+		Session broker.Session `json:"session"`
+		Reason  string         `json:"reason,omitempty"`
+	}{u.Kind.String(), u.Session, u.Reason})
+	if err != nil {
+		return false
+	}
+	return conn.WriteMessage(ws.OpText, payload) == nil
+}
+
+// ListenAndServe runs the portal on addr until the server fails; it is a
+// convenience for cmd/evop-portal.
+func (p *Portal) ListenAndServe(addr string) error {
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           p,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		return fmt.Errorf("portal server: %w", err)
+	}
+	return nil
+}

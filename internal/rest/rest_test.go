@@ -1,0 +1,296 @@
+package rest
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestStoreCRUD(t *testing.T) {
+	s := NewStore()
+	r := Resource{ID: "eden-rain", Kind: "datasets", Attributes: map[string]any{"unit": "mm"}}
+	if err := s.Create(r); err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	if err := s.Create(r); !errors.Is(err, ErrConflict) {
+		t.Fatalf("duplicate Create err = %v", err)
+	}
+	got, err := s.Get("datasets", "eden-rain")
+	if err != nil || got.Attributes["unit"] != "mm" {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	if _, err := s.Get("datasets", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing err = %v", err)
+	}
+	r.Attributes["unit"] = "cm"
+	if err := s.Put(r); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, _ = s.Get("datasets", "eden-rain")
+	if got.Attributes["unit"] != "cm" {
+		t.Fatal("Put did not replace")
+	}
+	if err := s.Delete("datasets", "eden-rain"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := s.Delete("datasets", "eden-rain"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double Delete err = %v", err)
+	}
+	if err := s.Put(Resource{Kind: "datasets"}); err == nil {
+		t.Fatal("Put without ID accepted")
+	}
+}
+
+func TestStoreListSorted(t *testing.T) {
+	s := NewStore()
+	for _, id := range []string{"c", "a", "b"} {
+		s.Put(Resource{ID: id, Kind: "models"})
+	}
+	got := s.List("models")
+	if len(got) != 3 || got[0].ID != "a" || got[2].ID != "c" {
+		t.Fatalf("List = %+v", got)
+	}
+	if len(s.List("nothing")) != 0 {
+		t.Fatal("List unknown kind should be empty")
+	}
+}
+
+func do(t *testing.T, srv *httptest.Server, method, path string, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	resp, err := srv.Client().Do(req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}
+
+func TestHandlerHTTP(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewStore()))
+	t.Cleanup(srv.Close)
+
+	code, _ := do(t, srv, http.MethodPut, "/api/datasets/rain", `{"attributes":{"unit":"mm"}}`)
+	if code != http.StatusOK {
+		t.Fatalf("PUT status = %d", code)
+	}
+	code, body := do(t, srv, http.MethodGet, "/api/datasets/rain", "")
+	if code != http.StatusOK || !strings.Contains(body, `"unit":"mm"`) {
+		t.Fatalf("GET = %d %s", code, body)
+	}
+	code, body = do(t, srv, http.MethodGet, "/api/datasets", "")
+	if code != http.StatusOK || !strings.Contains(body, "rain") {
+		t.Fatalf("LIST = %d %s", code, body)
+	}
+	code, _ = do(t, srv, http.MethodDelete, "/api/datasets/rain", "")
+	if code != http.StatusNoContent {
+		t.Fatalf("DELETE status = %d", code)
+	}
+	code, _ = do(t, srv, http.MethodGet, "/api/datasets/rain", "")
+	if code != http.StatusNotFound {
+		t.Fatalf("GET after delete = %d", code)
+	}
+}
+
+func TestHandlerErrors(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewStore()))
+	t.Cleanup(srv.Close)
+	tests := []struct {
+		method, path, body string
+		want               int
+	}{
+		{http.MethodGet, "/api/", "", http.StatusNotFound},
+		{http.MethodPut, "/api/datasets/x", "{bad json", http.StatusBadRequest},
+		{http.MethodPost, "/api/datasets/x", "{}", http.StatusMethodNotAllowed},
+		{http.MethodDelete, "/api/datasets/ghost", "", http.StatusNotFound},
+		{http.MethodPut, "/api/datasets", "{}", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range tests {
+		code, _ := do(t, srv, tc.method, tc.path, tc.body)
+		if code != tc.want {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, code, tc.want)
+		}
+	}
+}
+
+func TestStatelessAnyReplicaServes(t *testing.T) {
+	// The same request sequence served by alternating replicas completes
+	// correctly — no shared state needed.
+	a := httptest.NewServer(StatelessCompute{})
+	b := httptest.NewServer(StatelessCompute{})
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+
+	servers := []*httptest.Server{a, b}
+	vals := []string{"1", "1,2", "1,2,3", "1,2,3,4"}
+	var last float64
+	for i, vs := range vals {
+		srv := servers[i%2]
+		resp, err := http.Post(srv.URL+"/sum?vs="+vs, "application/json", nil)
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		var out map[string]float64
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		resp.Body.Close()
+		last = out["result"]
+	}
+	if last != 10 {
+		t.Fatalf("final sum = %v, want 10", last)
+	}
+}
+
+func TestStatefulLosesTransactionsOnFailover(t *testing.T) {
+	a := httptest.NewServer(NewStatefulService())
+	b := httptest.NewServer(NewStatefulService()) // the "replacement"
+	t.Cleanup(a.Close)
+	t.Cleanup(b.Close)
+
+	// Begin on A.
+	resp, err := http.Post(a.URL+"/begin", "application/json", nil)
+	if err != nil {
+		t.Fatalf("begin: %v", err)
+	}
+	var began map[string]string
+	json.NewDecoder(resp.Body).Decode(&began)
+	resp.Body.Close()
+	txn := began["txn"]
+	if txn == "" {
+		t.Fatal("no txn id")
+	}
+
+	// Steps on A succeed.
+	resp, err = http.Post(a.URL+"/step?txn="+txn+"&v=5", "application/json", nil)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("step on A: %v %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// A "fails"; the client is redirected to B mid-transaction.
+	code := post(t, b.URL+"/step?txn="+txn+"&v=7")
+	if code != http.StatusNotFound {
+		t.Fatalf("step on replacement = %d, want 404 (state lost)", code)
+	}
+	if code := post(t, b.URL+"/commit?txn="+txn); code != http.StatusNotFound {
+		t.Fatalf("commit on replacement = %d, want 404", code)
+	}
+}
+
+func post(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+func TestStatefulHappyPath(t *testing.T) {
+	svc := NewStatefulService()
+	srv := httptest.NewServer(svc)
+	t.Cleanup(srv.Close)
+
+	resp, _ := http.Post(srv.URL+"/begin", "application/json", nil)
+	var began map[string]string
+	json.NewDecoder(resp.Body).Decode(&began)
+	resp.Body.Close()
+	txn := began["txn"]
+
+	for _, v := range []int{2, 3, 5} {
+		if code := post(t, fmt.Sprintf("%s/step?txn=%s&v=%d", srv.URL, txn, v)); code != http.StatusOK {
+			t.Fatalf("step = %d", code)
+		}
+	}
+	if svc.OpenTransactions() != 1 {
+		t.Fatalf("open txns = %d", svc.OpenTransactions())
+	}
+	resp, _ = http.Post(srv.URL+"/commit?txn="+txn, "application/json", nil)
+	var out map[string]float64
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if out["result"] != 10 {
+		t.Fatalf("result = %v, want 10", out["result"])
+	}
+	if svc.OpenTransactions() != 0 {
+		t.Fatal("transaction not cleared after commit")
+	}
+}
+
+func TestStatefulErrors(t *testing.T) {
+	srv := httptest.NewServer(NewStatefulService())
+	t.Cleanup(srv.Close)
+	if code := post(t, srv.URL+"/step?txn=ghost&v=1"); code != http.StatusNotFound {
+		t.Fatalf("ghost step = %d", code)
+	}
+	if code := post(t, srv.URL+"/step?txn=ghost&v=abc"); code != http.StatusBadRequest {
+		t.Fatalf("bad v = %d", code)
+	}
+	if code := post(t, srv.URL+"/nuke"); code != http.StatusNotFound {
+		t.Fatalf("unknown op = %d", code)
+	}
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/begin", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET begin = %d", resp.StatusCode)
+	}
+}
+
+func TestStatelessComputeErrors(t *testing.T) {
+	srv := httptest.NewServer(StatelessCompute{})
+	t.Cleanup(srv.Close)
+	if code := post(t, srv.URL+"/sum?vs=1,bad"); code != http.StatusBadRequest {
+		t.Fatalf("bad vs = %d", code)
+	}
+	if code := post(t, srv.URL+"/other"); code != http.StatusNotFound {
+		t.Fatalf("unknown path = %d", code)
+	}
+	// Empty vs sums to zero.
+	resp, _ := http.Post(srv.URL+"/sum", "application/json", nil)
+	var out map[string]float64
+	json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	if out["result"] != 0 {
+		t.Fatalf("empty sum = %v", out["result"])
+	}
+}
+
+func TestSplitComma(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"1", []string{"1"}},
+		{"1,2,3", []string{"1", "2", "3"}},
+		{",1,,2,", []string{"1", "2"}},
+	}
+	for _, tc := range tests {
+		got := splitComma(tc.in)
+		if len(got) != len(tc.want) {
+			t.Errorf("splitComma(%q) = %v", tc.in, got)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("splitComma(%q)[%d] = %q", tc.in, i, got[i])
+			}
+		}
+	}
+}

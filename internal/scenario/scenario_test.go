@@ -1,0 +1,184 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"evop/internal/catchment"
+	"evop/internal/hydro"
+	"evop/internal/hydro/fuse"
+	"evop/internal/hydro/quality"
+	"evop/internal/hydro/topmodel"
+	"evop/internal/timeseries"
+	"evop/internal/weather"
+)
+
+var t0 = time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestAllFourScenariosPresent(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("scenarios = %d, want 4", len(all))
+	}
+	wantOrder := []string{Baseline, Afforestation, Compaction, Storage}
+	for i, id := range wantOrder {
+		if all[i].ID != id {
+			t.Fatalf("scenario %d = %q, want %q", i, all[i].ID, id)
+		}
+		if all[i].Name == "" || all[i].Description == "" {
+			t.Fatalf("scenario %q missing display text", id)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	s, err := Get(Compaction)
+	if err != nil || s.ID != Compaction {
+		t.Fatalf("Get = %+v, %v", s, err)
+	}
+	if _, err := Get("urbanisation"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("unknown scenario err = %v", err)
+	}
+}
+
+func TestTransformedParamsStayValid(t *testing.T) {
+	for _, s := range All() {
+		if err := s.ApplyTOPMODEL(topmodel.DefaultParams()).Validate(); err != nil {
+			t.Errorf("%s TOPMODEL params invalid: %v", s.ID, err)
+		}
+		if err := s.ApplyFUSE(fuse.DefaultParams()).Validate(); err != nil {
+			t.Errorf("%s FUSE params invalid: %v", s.ID, err)
+		}
+	}
+}
+
+func TestBaselineIsIdentity(t *testing.T) {
+	base, _ := Get(Baseline)
+	p := topmodel.DefaultParams()
+	if base.ApplyTOPMODEL(p) != p {
+		t.Fatal("baseline changed TOPMODEL params")
+	}
+	fp := fuse.DefaultParams()
+	if base.ApplyFUSE(fp) != fp {
+		t.Fatal("baseline changed FUSE params")
+	}
+}
+
+// stormPeaks runs the four scenarios on a design storm and returns peak
+// flow by scenario ID — the LEFT widget's core comparison.
+func stormPeaks(t *testing.T) map[string]float64 {
+	t.Helper()
+	c, _ := catchment.LEFTCatchments().Get("morland")
+	ti, err := c.TopoIndexDistribution()
+	if err != nil {
+		t.Fatalf("TI: %v", err)
+	}
+	gen, _ := weather.NewGenerator(weather.UKUplandClimate(), 77)
+	rain, _ := gen.Rainfall(t0, time.Hour, 24*20)
+	storm := weather.DesignStorm{TotalDepthMM: 60, Duration: 6 * time.Hour, PeakFraction: 0.4}
+	rain, err = storm.Inject(rain, t0.Add(10*24*time.Hour))
+	if err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	pet, _ := timeseries.Zeros(t0, time.Hour, rain.Len())
+	f := hydro.Forcing{Rain: rain, PET: pet}
+
+	peaks := make(map[string]float64, 4)
+	for _, s := range All() {
+		m, err := topmodel.New(s.ApplyTOPMODEL(topmodel.DefaultParams()), ti)
+		if err != nil {
+			t.Fatalf("%s: New: %v", s.ID, err)
+		}
+		q, err := m.Run(f)
+		if err != nil {
+			t.Fatalf("%s: Run: %v", s.ID, err)
+		}
+		peaks[s.ID] = q.Summarise().Max
+	}
+	return peaks
+}
+
+func TestScenarioPeakOrdering(t *testing.T) {
+	// The paper's stakeholder message: afforestation reduces flood peaks,
+	// compaction raises them, attenuation trims the routed peak.
+	peaks := stormPeaks(t)
+	if !(peaks[Afforestation] < peaks[Baseline]) {
+		t.Fatalf("afforestation peak %.3f not below baseline %.3f",
+			peaks[Afforestation], peaks[Baseline])
+	}
+	if !(peaks[Compaction] > peaks[Baseline]) {
+		t.Fatalf("compaction peak %.3f not above baseline %.3f",
+			peaks[Compaction], peaks[Baseline])
+	}
+	if !(peaks[Storage] < peaks[Baseline]) {
+		t.Fatalf("storage peak %.3f not below baseline %.3f",
+			peaks[Storage], peaks[Baseline])
+	}
+}
+
+func TestScenariosApplyToFUSEEnsembleToo(t *testing.T) {
+	rain, _ := timeseries.Zeros(t0, time.Hour, 24*10)
+	storm := weather.DesignStorm{TotalDepthMM: 80, Duration: 4 * time.Hour, PeakFraction: 0.4}
+	rain, err := storm.Inject(rain, t0.Add(5*24*time.Hour))
+	if err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	pet, _ := timeseries.Zeros(t0, time.Hour, rain.Len())
+	f := hydro.Forcing{Rain: rain, PET: pet}
+	dec := fuse.Decisions{Upper: fuse.UpperSingle, Perc: fuse.PercFieldCap,
+		Base: fuse.BaseLinear, Routing: fuse.RouteGammaUH}
+
+	var baseQ, storQ float64
+	for _, id := range []string{Baseline, Storage} {
+		s, _ := Get(id)
+		m, err := fuse.New(dec, s.ApplyFUSE(fuse.DefaultParams()))
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		q, err := m.Run(f)
+		if err != nil {
+			t.Fatalf("%s run: %v", id, err)
+		}
+		if id == Baseline {
+			baseQ = q.Summarise().Max
+		} else {
+			storQ = q.Summarise().Max
+		}
+	}
+	if storQ >= baseQ {
+		t.Fatalf("FUSE storage peak %.3f not below baseline %.3f", storQ, baseQ)
+	}
+}
+
+func TestQualityTransformsValidAndOrdered(t *testing.T) {
+	base := quality.DefaultParams()
+	sed := map[string]float64{}
+	for _, s := range All() {
+		p := s.ApplyQuality(base)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s quality params invalid: %v", s.ID, err)
+		}
+		sed[s.ID] = p.SedA
+	}
+	if !(sed[Afforestation] < sed[Baseline] && sed[Baseline] < sed[Compaction]) {
+		t.Fatalf("sediment coefficient ordering wrong: %v", sed)
+	}
+	if sed[Storage] >= sed[Baseline] {
+		t.Fatalf("attenuation features should trap sediment: %v", sed)
+	}
+	// Baseline is the identity.
+	if Get2(t, Baseline).ApplyQuality(base) != base {
+		t.Fatal("baseline changed quality params")
+	}
+}
+
+// Get2 is Get with a test fatal on error.
+func Get2(t *testing.T, id string) Scenario {
+	t.Helper()
+	s, err := Get(id)
+	if err != nil {
+		t.Fatalf("Get(%s): %v", id, err)
+	}
+	return s
+}

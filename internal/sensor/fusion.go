@@ -1,0 +1,142 @@
+package sensor
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"evop/internal/clock"
+	"evop/internal/geo"
+	"evop/internal/timeseries"
+	"evop/internal/weather"
+)
+
+// FusedSample is the multimodal view of the paper's Fig. 5 widget: water
+// temperature and turbidity readings paired with the webcam frame taken
+// roughly at the same time.
+type FusedSample struct {
+	At          time.Time `json:"at"`
+	Temperature float64   `json:"temperature"`
+	Turbidity   float64   `json:"turbidity"`
+	Frame       Frame     `json:"frame"`
+	// MaxSkew is the largest time offset between the requested instant
+	// and any of the fused sources.
+	MaxSkew time.Duration `json:"maxSkewNs"`
+}
+
+// Fuse aligns a temperature sensor, a turbidity sensor and a webcam at
+// time t using nearest-in-time matching per source.
+func (n *Network) Fuse(tempID, turbID, camID string, t time.Time) (FusedSample, error) {
+	tempHist, err := n.historyOf(tempID, WaterTemperature)
+	if err != nil {
+		return FusedSample{}, err
+	}
+	turbHist, err := n.historyOf(turbID, Turbidity)
+	if err != nil {
+		return FusedSample{}, err
+	}
+	tempObs, ok := tempHist.Nearest(t)
+	if !ok {
+		return FusedSample{}, fmt.Errorf("%s: %w", tempID, ErrNoData)
+	}
+	turbObs, ok := turbHist.Nearest(t)
+	if !ok {
+		return FusedSample{}, fmt.Errorf("%s: %w", turbID, ErrNoData)
+	}
+	frame, err := n.FrameNearest(camID, t)
+	if err != nil {
+		return FusedSample{}, err
+	}
+	skew := absDur(t.Sub(tempObs.Time))
+	if d := absDur(t.Sub(turbObs.Time)); d > skew {
+		skew = d
+	}
+	if d := absDur(t.Sub(frame.Time)); d > skew {
+		skew = d
+	}
+	return FusedSample{
+		At:          t,
+		Temperature: tempObs.Value,
+		Turbidity:   turbObs.Value,
+		Frame:       frame,
+		MaxSkew:     skew,
+	}, nil
+}
+
+// historyOf fetches a sensor's history, checking the expected kind.
+func (n *Network) historyOf(id string, want Kind) (*timeseries.Irregular, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.sensors[id]
+	if !ok {
+		return nil, fmt.Errorf("%s: %w", id, ErrNotFound)
+	}
+	if s.Kind != want {
+		return nil, fmt.Errorf("%s is %v, want %v: %w", id, s.Kind, want, ErrBadSensor)
+	}
+	return n.history[id], nil
+}
+
+// LEFTDeployment builds the standard sensor deployment for a catchment:
+// a river level gauge, a rain gauge, water temperature and turbidity
+// probes, and a webcam, all near the outlet. Drivers derive from the
+// catchment's deterministic weather realisation so the feeds are
+// physically coherent (turbidity rises with rainfall, level follows a
+// smoothed rainfall response).
+func LEFTDeployment(clk clock.Clock, catchmentID string, outlet geo.Point, climateSeed int64, start time.Time) ([]Sensor, error) {
+	gen, err := weather.NewGenerator(weather.UKUplandClimate(), climateSeed)
+	if err != nil {
+		return nil, fmt.Errorf("building weather driver: %w", err)
+	}
+	// Pre-generate a year of hourly forcing to drive the sensors.
+	rain, err := gen.Rainfall(start, time.Hour, 24*365)
+	if err != nil {
+		return nil, fmt.Errorf("generating rainfall: %w", err)
+	}
+	temp, err := gen.Temperature(start, time.Hour, 24*365)
+	if err != nil {
+		return nil, fmt.Errorf("generating temperature: %w", err)
+	}
+	rainAt := func(t time.Time) float64 {
+		v, ok := rain.ValueAt(t)
+		if !ok {
+			return 0
+		}
+		return v
+	}
+	// River level: baseflow plus smoothed recent rainfall (6h window).
+	levelAt := func(t time.Time) float64 {
+		sum := 0.0
+		for h := 0; h < 6; h++ {
+			sum += rainAt(t.Add(-time.Duration(h)*time.Hour)) * math.Exp(-0.3*float64(h))
+		}
+		return 0.35 + 0.05*sum
+	}
+	tempAt := func(t time.Time) float64 {
+		v, ok := temp.ValueAt(t)
+		if !ok {
+			return 8
+		}
+		// Water temperature is damped air temperature.
+		return 6 + 0.5*v
+	}
+	turbAt := func(t time.Time) float64 {
+		// Turbidity spikes with rainfall-driven runoff.
+		return 4 + 25*rainAt(t) + 8*rainAt(t.Add(-time.Hour))
+	}
+	offset := func(dLat, dLon float64) geo.Point {
+		return geo.Point{Lat: outlet.Lat + dLat, Lon: outlet.Lon + dLon}
+	}
+	return []Sensor{
+		{ID: catchmentID + "-level-1", Kind: RiverLevel, Location: outlet,
+			CatchmentID: catchmentID, Interval: 15 * time.Minute, Driver: levelAt},
+		{ID: catchmentID + "-rain-1", Kind: RainGauge, Location: offset(0.004, 0.002),
+			CatchmentID: catchmentID, Interval: time.Hour, Driver: rainAt},
+		{ID: catchmentID + "-temp-1", Kind: WaterTemperature, Location: offset(0.001, -0.001),
+			CatchmentID: catchmentID, Interval: 30 * time.Minute, Driver: tempAt},
+		{ID: catchmentID + "-turb-1", Kind: Turbidity, Location: offset(0.001, -0.001),
+			CatchmentID: catchmentID, Interval: 30 * time.Minute, Driver: turbAt},
+		{ID: catchmentID + "-cam-1", Kind: Webcam, Location: offset(-0.002, 0.003),
+			CatchmentID: catchmentID, Interval: time.Hour},
+	}, nil
+}

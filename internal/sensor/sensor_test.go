@@ -1,0 +1,301 @@
+package sensor
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"evop/internal/clock"
+	"evop/internal/geo"
+)
+
+var epoch = time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func levelSensor(id string) Sensor {
+	return Sensor{
+		ID: id, Kind: RiverLevel,
+		Location:    geo.Point{Lat: 54.6, Lon: -2.6},
+		CatchmentID: "morland",
+		Interval:    15 * time.Minute,
+		Driver:      func(t time.Time) float64 { return 0.5 + float64(t.Minute())/100 },
+	}
+}
+
+func camSensor(id string) Sensor {
+	return Sensor{
+		ID: id, Kind: Webcam,
+		Location:    geo.Point{Lat: 54.6, Lon: -2.6},
+		CatchmentID: "morland",
+		Interval:    time.Hour,
+	}
+}
+
+func TestSensorValidate(t *testing.T) {
+	if err := levelSensor("ok").Validate(); err != nil {
+		t.Fatalf("valid sensor rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Sensor)
+	}{
+		{"empty id", func(s *Sensor) { s.ID = "" }},
+		{"bad kind", func(s *Sensor) { s.Kind = 0 }},
+		{"zero interval", func(s *Sensor) { s.Interval = 0 }},
+		{"no driver", func(s *Sensor) { s.Driver = nil }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			s := levelSensor("x")
+			tc.mutate(&s)
+			if err := s.Validate(); !errors.Is(err, ErrBadSensor) {
+				t.Fatalf("Validate = %v, want ErrBadSensor", err)
+			}
+		})
+	}
+	// A bad location propagates geo's coordinate error.
+	bad := levelSensor("x")
+	bad.Location.Lat = 99
+	if err := bad.Validate(); !errors.Is(err, geo.ErrBadCoordinate) {
+		t.Fatalf("bad location err = %v, want ErrBadCoordinate", err)
+	}
+	// Webcams do not need a driver.
+	if err := camSensor("cam").Validate(); err != nil {
+		t.Fatalf("webcam rejected: %v", err)
+	}
+}
+
+func TestNetworkSamplingAndHistory(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	n, err := NewNetwork(clk)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if err := n.Add(levelSensor("lvl")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	n.Start()
+	defer n.Stop()
+
+	clk.Advance(time.Hour) // 4 samples at 15-min interval
+	hist, err := n.History("lvl", epoch, epoch.Add(2*time.Hour))
+	if err != nil {
+		t.Fatalf("History: %v", err)
+	}
+	if len(hist) != 4 {
+		t.Fatalf("history = %d readings, want 4", len(hist))
+	}
+	latest, err := n.Latest("lvl")
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if !latest.Time.Equal(epoch.Add(time.Hour)) {
+		t.Fatalf("latest at %v", latest.Time)
+	}
+	if latest.Kind != RiverLevel {
+		t.Fatalf("latest kind = %v", latest.Kind)
+	}
+}
+
+func TestNetworkValidationAndErrors(t *testing.T) {
+	if _, err := NewNetwork(nil); !errors.Is(err, ErrBadSensor) {
+		t.Fatalf("nil clock err = %v", err)
+	}
+	clk := clock.NewSimulated(epoch)
+	n, _ := NewNetwork(clk)
+	if err := n.Add(levelSensor("a")); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := n.Add(levelSensor("a")); !errors.Is(err, ErrBadSensor) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+	n.Start()
+	if err := n.Add(levelSensor("late")); !errors.Is(err, ErrBadSensor) {
+		t.Fatalf("add after start err = %v", err)
+	}
+	n.Stop()
+	if _, err := n.Latest("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Latest unknown err = %v", err)
+	}
+	if _, err := n.History("ghost", epoch, epoch); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("History unknown err = %v", err)
+	}
+	if _, err := n.Latest("a"); !errors.Is(err, ErrNoData) {
+		t.Fatalf("Latest no data err = %v", err)
+	}
+	if _, err := n.Get("a"); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if _, err := n.Get("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get unknown err = %v", err)
+	}
+}
+
+func TestStopHaltsSampling(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	n, _ := NewNetwork(clk)
+	n.Add(levelSensor("lvl"))
+	n.Start()
+	clk.Advance(30 * time.Minute)
+	n.Stop()
+	before, _ := n.History("lvl", epoch, epoch.Add(24*time.Hour))
+	clk.Advance(2 * time.Hour)
+	after, _ := n.History("lvl", epoch, epoch.Add(24*time.Hour))
+	if len(after) != len(before) {
+		t.Fatalf("samples kept arriving after Stop: %d -> %d", len(before), len(after))
+	}
+	if clk.PendingTimers() != 0 {
+		t.Fatalf("pending timers after Stop = %d", clk.PendingTimers())
+	}
+}
+
+func TestSubscribeLiveFeed(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	n, _ := NewNetwork(clk)
+	n.Add(levelSensor("lvl"))
+	ch := n.Subscribe()
+	n.Start()
+	defer n.Stop()
+	clk.Advance(15 * time.Minute)
+	select {
+	case r := <-ch:
+		if r.SensorID != "lvl" || !r.Time.Equal(epoch.Add(15*time.Minute)) {
+			t.Fatalf("reading = %+v", r)
+		}
+	default:
+		t.Fatal("no live reading delivered")
+	}
+}
+
+func TestSubscribeSlowConsumerDrops(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	n, _ := NewNetwork(clk)
+	s := levelSensor("lvl")
+	s.Interval = time.Minute
+	n.Add(s)
+	n.Subscribe() // never drained
+	n.Start()
+	defer n.Stop()
+	clk.Advance(100 * time.Minute) // 100 readings into a 64-slot buffer
+	if n.Dropped() == 0 {
+		t.Fatal("expected drops with stalled subscriber")
+	}
+}
+
+func TestWebcamFrames(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	n, _ := NewNetwork(clk)
+	n.Add(camSensor("cam"))
+	n.Start()
+	defer n.Stop()
+	clk.Advance(5 * time.Hour)
+
+	f, err := n.FrameNearest("cam", epoch.Add(2*time.Hour+25*time.Minute))
+	if err != nil {
+		t.Fatalf("FrameNearest: %v", err)
+	}
+	if !f.Time.Equal(epoch.Add(2 * time.Hour)) {
+		t.Fatalf("nearest frame at %v, want 2h", f.Time)
+	}
+	if len(f.Content) == 0 {
+		t.Fatal("empty frame content")
+	}
+	// Frames are distinct over time.
+	f2, _ := n.FrameNearest("cam", epoch.Add(4*time.Hour))
+	if string(f.Content) == string(f2.Content) {
+		t.Fatal("frames at different times identical")
+	}
+	latest, err := n.Latest("cam")
+	if err != nil || latest.Value != 5 {
+		t.Fatalf("Latest cam = %+v, %v (want 5 frames)", latest, err)
+	}
+	if _, err := n.FrameNearest("lvl-missing", epoch); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("FrameNearest unknown err = %v", err)
+	}
+}
+
+func TestFrameNearestKindGuard(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	n, _ := NewNetwork(clk)
+	n.Add(levelSensor("lvl"))
+	n.Start()
+	defer n.Stop()
+	clk.Advance(time.Hour)
+	if _, err := n.FrameNearest("lvl", epoch); !errors.Is(err, ErrBadSensor) {
+		t.Fatalf("FrameNearest on level gauge err = %v", err)
+	}
+}
+
+func TestLEFTDeploymentAndFusion(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	n, _ := NewNetwork(clk)
+	sensors, err := LEFTDeployment(clk, "morland", geo.Point{Lat: 54.596, Lon: -2.643}, 101, epoch)
+	if err != nil {
+		t.Fatalf("LEFTDeployment: %v", err)
+	}
+	if len(sensors) != 5 {
+		t.Fatalf("deployment = %d sensors, want 5", len(sensors))
+	}
+	kinds := make(map[Kind]bool)
+	for _, s := range sensors {
+		if err := s.Validate(); err != nil {
+			t.Fatalf("sensor %s invalid: %v", s.ID, err)
+		}
+		if err := n.Add(s); err != nil {
+			t.Fatalf("Add %s: %v", s.ID, err)
+		}
+		kinds[s.Kind] = true
+	}
+	if len(kinds) != 5 {
+		t.Fatalf("kinds = %v, want all five", kinds)
+	}
+	n.Start()
+	defer n.Stop()
+	clk.Advance(12 * time.Hour)
+
+	at := epoch.Add(6*time.Hour + 10*time.Minute)
+	fused, err := n.Fuse("morland-temp-1", "morland-turb-1", "morland-cam-1", at)
+	if err != nil {
+		t.Fatalf("Fuse: %v", err)
+	}
+	// Probes sample every 30 min, cams hourly: skew bounded by 30 min.
+	if fused.MaxSkew > 30*time.Minute {
+		t.Fatalf("fusion skew %v > 30m", fused.MaxSkew)
+	}
+	if fused.Temperature == 0 && fused.Turbidity == 0 {
+		t.Fatal("suspicious all-zero fusion")
+	}
+	if len(fused.Frame.Content) == 0 {
+		t.Fatal("fusion missing webcam frame")
+	}
+}
+
+func TestFuseErrors(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	n, _ := NewNetwork(clk)
+	n.Add(levelSensor("lvl"))
+	n.Add(camSensor("cam"))
+	n.Start()
+	defer n.Stop()
+	clk.Advance(time.Hour)
+	if _, err := n.Fuse("ghost", "lvl", "cam", epoch); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown temp err = %v", err)
+	}
+	if _, err := n.Fuse("lvl", "lvl", "cam", epoch); !errors.Is(err, ErrBadSensor) {
+		t.Fatalf("wrong kind err = %v", err)
+	}
+}
+
+func TestKindStringsAndUnits(t *testing.T) {
+	for k, want := range map[Kind]string{
+		RiverLevel: "riverLevel", RainGauge: "rainGauge",
+		WaterTemperature: "waterTemperature", Turbidity: "turbidity",
+		Webcam: "webcam", Kind(9): "Kind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("String = %q want %q", k.String(), want)
+		}
+	}
+	if RiverLevel.Unit() != "m" || RainGauge.Unit() != "mm" || Kind(9).Unit() != "" {
+		t.Fatal("units wrong")
+	}
+}

@@ -1,0 +1,162 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"time"
+)
+
+// FlotJSON encodes the series as the [[millis, value], ...] pair array the
+// Flot charting library consumes — the exact payload shape the EVOp portal
+// returned to its hydrograph widget. NaN samples are encoded as null,
+// which Flot renders as a line break.
+func (s *Series) FlotJSON() ([]byte, error) {
+	pairs := make([][2]json.RawMessage, len(s.values))
+	for i, v := range s.values {
+		ms := strconv.FormatInt(s.TimeAt(i).UnixMilli(), 10)
+		var val string
+		if math.IsNaN(v) {
+			val = "null"
+		} else {
+			val = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		pairs[i] = [2]json.RawMessage{json.RawMessage(ms), json.RawMessage(val)}
+	}
+	return json.Marshal(pairs)
+}
+
+// ParseFlotJSON decodes a [[millis, value], ...] payload into an Irregular
+// sequence (the inverse need not assume a fixed step). null values become
+// NaN.
+func ParseFlotJSON(data []byte) (*Irregular, error) {
+	var pairs [][2]*float64
+	if err := json.Unmarshal(data, &pairs); err != nil {
+		return nil, fmt.Errorf("parsing flot payload: %w", err)
+	}
+	obs := make([]Observation, 0, len(pairs))
+	for i, p := range pairs {
+		if p[0] == nil {
+			return nil, fmt.Errorf("parsing flot payload: pair %d has null timestamp", i)
+		}
+		v := math.NaN()
+		if p[1] != nil {
+			v = *p[1]
+		}
+		obs = append(obs, Observation{Time: time.UnixMilli(int64(*p[0])).UTC(), Value: v})
+	}
+	return NewIrregular(obs), nil
+}
+
+// WriteCSV writes the series as "time,value" rows in RFC 3339 time, the
+// export format evop-gen produces. NaN values are written as empty fields.
+func (s *Series) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "value"}); err != nil {
+		return fmt.Errorf("writing csv header: %w", err)
+	}
+	for i, v := range s.values {
+		val := ""
+		if !math.IsNaN(v) {
+			val = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write([]string{s.TimeAt(i).Format(time.RFC3339), val}); err != nil {
+			return fmt.Errorf("writing csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("flushing csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a "time,value" CSV (as written by WriteCSV) into a Series
+// with the given step; rows must be contiguous at that step. Empty value
+// fields become NaN.
+func ReadCSV(r io.Reader, step time.Duration) (*Series, error) {
+	if step <= 0 {
+		return nil, ErrBadStep
+	}
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("reading csv: %w", err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("reading csv: no data rows: %w", ErrEmpty)
+	}
+	var start time.Time
+	vals := make([]float64, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		if len(row) != 2 {
+			return nil, fmt.Errorf("csv row %d: want 2 fields, got %d", i+1, len(row))
+		}
+		t, err := time.Parse(time.RFC3339, row[0])
+		if err != nil {
+			return nil, fmt.Errorf("csv row %d time: %w", i+1, err)
+		}
+		if i == 0 {
+			start = t
+		} else if want := start.Add(time.Duration(i) * step); !t.Equal(want) {
+			return nil, fmt.Errorf("csv row %d at %v, want %v: %w", i+1, t, want, ErrStepMismatch)
+		}
+		v := math.NaN()
+		if row[1] != "" {
+			v, err = strconv.ParseFloat(row[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("csv row %d value: %w", i+1, err)
+			}
+		}
+		vals = append(vals, v)
+	}
+	return New(start, step, vals)
+}
+
+// MarshalJSON encodes the series as a self-describing object
+// {"start": ..., "stepSeconds": ..., "values": [...]} with NaN as null.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	vals := make([]*float64, len(s.values))
+	for i := range s.values {
+		if !math.IsNaN(s.values[i]) {
+			v := s.values[i]
+			vals[i] = &v
+		}
+	}
+	return json.Marshal(struct {
+		Start       time.Time  `json:"start"`
+		StepSeconds float64    `json:"stepSeconds"`
+		Values      []*float64 `json:"values"`
+	}{s.start, s.step.Seconds(), vals})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Start       time.Time  `json:"start"`
+		StepSeconds float64    `json:"stepSeconds"`
+		Values      []*float64 `json:"values"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("parsing series: %w", err)
+	}
+	step := time.Duration(raw.StepSeconds * float64(time.Second))
+	if step <= 0 {
+		return ErrBadStep
+	}
+	vals := make([]float64, len(raw.Values))
+	for i, p := range raw.Values {
+		if p == nil {
+			vals[i] = math.NaN()
+		} else {
+			vals[i] = *p
+		}
+	}
+	s.start = raw.Start.UTC()
+	s.step = step
+	s.values = vals
+	return nil
+}

@@ -1,0 +1,145 @@
+package timeseries
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestFlotJSONRoundTrip(t *testing.T) {
+	s := MustNew(t0, time.Hour, []float64{1.5, math.NaN(), 3})
+	data, err := s.FlotJSON()
+	if err != nil {
+		t.Fatalf("FlotJSON: %v", err)
+	}
+	if !strings.Contains(string(data), "null") {
+		t.Fatalf("NaN not encoded as null: %s", data)
+	}
+	ir, err := ParseFlotJSON(data)
+	if err != nil {
+		t.Fatalf("ParseFlotJSON: %v", err)
+	}
+	if ir.Len() != 3 {
+		t.Fatalf("round-trip len = %d", ir.Len())
+	}
+	if got := ir.At(0); !got.Time.Equal(t0) || got.Value != 1.5 {
+		t.Fatalf("round-trip obs[0] = %+v", got)
+	}
+	if !math.IsNaN(ir.At(1).Value) {
+		t.Fatalf("round-trip null = %v, want NaN", ir.At(1).Value)
+	}
+}
+
+func TestParseFlotJSONErrors(t *testing.T) {
+	if _, err := ParseFlotJSON([]byte(`{"not":"array"}`)); err == nil {
+		t.Fatal("want error for non-array payload")
+	}
+	if _, err := ParseFlotJSON([]byte(`[[null, 1]]`)); err == nil {
+		t.Fatal("want error for null timestamp")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := MustNew(t0, 15*time.Minute, []float64{0.5, math.NaN(), 2})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadCSV(&buf, 15*time.Minute)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !got.Start().Equal(s.Start()) || got.Len() != s.Len() {
+		t.Fatalf("round-trip start=%v len=%d", got.Start(), got.Len())
+	}
+	if got.At(0) != 0.5 || !math.IsNaN(got.At(1)) || got.At(2) != 2 {
+		t.Fatalf("round-trip values = %v", got.Values())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+		step time.Duration
+	}{
+		{"bad step", "time,value\n", 0},
+		{"no rows", "time,value\n", time.Hour},
+		{"bad time", "time,value\nnot-a-time,1\n", time.Hour},
+		{"bad value", "time,value\n2019-07-01T00:00:00Z,abc\n", time.Hour},
+		{"gap in rows", "time,value\n2019-07-01T00:00:00Z,1\n2019-07-01T02:00:00Z,2\n", time.Hour},
+		{"wrong fields", "time,value\n2019-07-01T00:00:00Z,1,extra\n", time.Hour},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tc.in), tc.step); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestSeriesJSONRoundTrip(t *testing.T) {
+	s := MustNew(t0, 30*time.Minute, []float64{1, math.NaN(), -2.5})
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var got Series
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !got.Start().Equal(s.Start()) || got.Step() != s.Step() || got.Len() != s.Len() {
+		t.Fatalf("round-trip meta: start=%v step=%v len=%d", got.Start(), got.Step(), got.Len())
+	}
+	if got.At(0) != 1 || !math.IsNaN(got.At(1)) || got.At(2) != -2.5 {
+		t.Fatalf("round-trip values = %v", got.Values())
+	}
+}
+
+func TestSeriesUnmarshalErrors(t *testing.T) {
+	var s Series
+	if err := json.Unmarshal([]byte(`{"start":"2019-07-01T00:00:00Z","stepSeconds":0,"values":[]}`), &s); err == nil {
+		t.Fatal("want error for zero step")
+	}
+	if err := json.Unmarshal([]byte(`"nope"`), &s); err == nil {
+		t.Fatal("want error for wrong JSON shape")
+	}
+}
+
+func TestFlotJSONPropertyRoundTrip(t *testing.T) {
+	// Property: FlotJSON -> ParseFlotJSON preserves every finite sample's
+	// time and value (to millisecond / float64 precision).
+	f := func(raw []int32) bool {
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r) / 100
+		}
+		s := MustNew(t0, time.Minute, vals)
+		data, err := s.FlotJSON()
+		if err != nil {
+			return false
+		}
+		ir, err := ParseFlotJSON(data)
+		if err != nil {
+			return false
+		}
+		if ir.Len() != s.Len() {
+			return false
+		}
+		for i := 0; i < s.Len(); i++ {
+			o := ir.At(i)
+			if !o.Time.Equal(s.TimeAt(i)) || math.Abs(o.Value-s.At(i)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package timeseries
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// FuzzParseFlotJSON hardens the widget payload parser: arbitrary bytes
+// must never panic, and valid output must re-encode.
+func FuzzParseFlotJSON(f *testing.F) {
+	s := MustNew(time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC), time.Hour, []float64{1, 2.5, -3})
+	seed, err := s.FlotJSON()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte(`[[0,null]]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[[1,2],[3]]`))
+	f.Add([]byte(`{"not":"flot"}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ir, err := ParseFlotJSON(data)
+		if err != nil {
+			return
+		}
+		// Parsed observations must be time-ordered (NewIrregular sorts).
+		for i := 1; i < ir.Len(); i++ {
+			if ir.At(i).Time.Before(ir.At(i - 1).Time) {
+				t.Fatal("parsed observations out of order")
+			}
+		}
+	})
+}
+
+// FuzzReadCSV hardens the dataset-upload parser.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time,value\n2019-07-01T00:00:00Z,1\n2019-07-01T01:00:00Z,\n")
+	f.Add("time,value\nnot-a-time,1\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		s, err := ReadCSV(strings.NewReader(data), time.Hour)
+		if err != nil {
+			return
+		}
+		if s.Len() == 0 {
+			t.Fatal("ReadCSV returned an empty series without error")
+		}
+	})
+}

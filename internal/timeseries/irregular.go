@@ -1,0 +1,137 @@
+package timeseries
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Observation is a single timestamped measurement, the unit in-situ
+// sensors produce and the SOS service serves.
+type Observation struct {
+	Time  time.Time `json:"time"`
+	Value float64   `json:"value"`
+}
+
+// Irregular is a time-ordered sequence of observations with no fixed step,
+// as produced by event-driven sensors and manual samples.
+type Irregular struct {
+	obs []Observation
+}
+
+// NewIrregular returns an Irregular holding a sorted copy of obs.
+func NewIrregular(obs []Observation) *Irregular {
+	cp := make([]Observation, len(obs))
+	copy(cp, obs)
+	sort.SliceStable(cp, func(i, j int) bool { return cp[i].Time.Before(cp[j].Time) })
+	return &Irregular{obs: cp}
+}
+
+// Len returns the number of observations.
+func (ir *Irregular) Len() int { return len(ir.obs) }
+
+// At returns observation i.
+func (ir *Irregular) At(i int) Observation { return ir.obs[i] }
+
+// Observations returns a copy of the observations in time order.
+func (ir *Irregular) Observations() []Observation {
+	out := make([]Observation, len(ir.obs))
+	copy(out, ir.obs)
+	return out
+}
+
+// Add inserts an observation, keeping time order. Appends are O(1); out of
+// order inserts shift.
+func (ir *Irregular) Add(o Observation) {
+	n := len(ir.obs)
+	if n == 0 || !o.Time.Before(ir.obs[n-1].Time) {
+		ir.obs = append(ir.obs, o)
+		return
+	}
+	i := sort.Search(n, func(i int) bool { return ir.obs[i].Time.After(o.Time) })
+	ir.obs = append(ir.obs, Observation{})
+	copy(ir.obs[i+1:], ir.obs[i:])
+	ir.obs[i] = o
+}
+
+// Window returns the observations with Time in [from, to).
+func (ir *Irregular) Window(from, to time.Time) []Observation {
+	lo := sort.Search(len(ir.obs), func(i int) bool { return !ir.obs[i].Time.Before(from) })
+	hi := sort.Search(len(ir.obs), func(i int) bool { return !ir.obs[i].Time.Before(to) })
+	out := make([]Observation, hi-lo)
+	copy(out, ir.obs[lo:hi])
+	return out
+}
+
+// Nearest returns the observation closest in time to t. This is the
+// primitive behind the paper's Fig. 5 multimodal widget, which pairs each
+// sensor reading with "the corresponding webcam image taken roughly at the
+// same time". It returns false when the sequence is empty.
+func (ir *Irregular) Nearest(t time.Time) (Observation, bool) {
+	n := len(ir.obs)
+	if n == 0 {
+		return Observation{}, false
+	}
+	i := sort.Search(n, func(i int) bool { return !ir.obs[i].Time.Before(t) })
+	switch {
+	case i == 0:
+		return ir.obs[0], true
+	case i == n:
+		return ir.obs[n-1], true
+	}
+	before, after := ir.obs[i-1], ir.obs[i]
+	if t.Sub(before.Time) <= after.Time.Sub(t) {
+		return before, true
+	}
+	return after, true
+}
+
+// InterpAt linearly interpolates the value at time t between the
+// bracketing observations; outside the extent it returns the nearest
+// endpoint value. It returns false when the sequence is empty.
+func (ir *Irregular) InterpAt(t time.Time) (float64, bool) {
+	n := len(ir.obs)
+	if n == 0 {
+		return 0, false
+	}
+	i := sort.Search(n, func(i int) bool { return !ir.obs[i].Time.Before(t) })
+	switch {
+	case i == 0:
+		return ir.obs[0].Value, true
+	case i == n:
+		return ir.obs[n-1].Value, true
+	}
+	a, b := ir.obs[i-1], ir.obs[i]
+	span := b.Time.Sub(a.Time)
+	if span <= 0 {
+		return b.Value, true
+	}
+	frac := float64(t.Sub(a.Time)) / float64(span)
+	return a.Value + (b.Value-a.Value)*frac, true
+}
+
+// ToSeries aggregates observations into a regular Series covering
+// [start, start+n*step) using agg per bucket; empty buckets become NaN.
+func (ir *Irregular) ToSeries(start time.Time, step time.Duration, n int, agg AggFunc) (*Series, error) {
+	if step <= 0 {
+		return nil, ErrBadStep
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("timeseries: negative length %d: %w", n, ErrBadRange)
+	}
+	buckets := make([][]float64, n)
+	for _, o := range ir.Window(start, start.Add(time.Duration(n)*step)) {
+		i := int(o.Time.Sub(start) / step)
+		buckets[i] = append(buckets[i], o.Value)
+	}
+	vals := make([]float64, n)
+	for i, b := range buckets {
+		if len(b) == 0 {
+			vals[i] = math.NaN()
+			continue
+		}
+		vals[i] = agg.apply(b)
+	}
+	return New(start, step, vals)
+}

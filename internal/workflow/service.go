@@ -1,0 +1,308 @@
+package workflow
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file exposes workflow composition over HTTP, completing the
+// paper's future-work storyboard: "supporting workflow composition ...
+// Workflows allow 'advanced' users (i.e. domain specialists from the
+// scientific or governmental communities) to create complex experiments
+// that can be easily tweaked and replayed."
+//
+// A workflow definition is JSON: named nodes, each invoking a registered
+// process (a WPS-style computation) with literal inputs plus references
+// to upstream outputs written as "${node.output}".
+
+// ErrBadDefinition indicates an invalid workflow definition document.
+var ErrBadDefinition = errors.New("workflow: invalid definition")
+
+// ProcessFunc is a computation invocable from a workflow node: string
+// inputs to string outputs, the same contract as a WPS process.
+type ProcessFunc func(inputs map[string]string) (map[string]string, error)
+
+// NodeDef is one node of a workflow definition document.
+type NodeDef struct {
+	// ID names the node.
+	ID string `json:"id"`
+	// Process is the registered process to invoke.
+	Process string `json:"process"`
+	// Inputs are literal values or "${node.output}" references to
+	// upstream results; referenced nodes become dependencies
+	// automatically.
+	Inputs map[string]string `json:"inputs,omitempty"`
+	// After adds explicit ordering dependencies beyond data references.
+	After []string `json:"after,omitempty"`
+}
+
+// Definition is a workflow definition document.
+type Definition struct {
+	// Name labels the workflow.
+	Name string `json:"name"`
+	// Nodes are the steps.
+	Nodes []NodeDef `json:"nodes"`
+}
+
+// Service executes workflow definitions against a registry of processes
+// and records runs for replay; it implements http.Handler:
+//
+//	POST /workflows                 submit a Definition; runs synchronously
+//	GET  /workflows                 list run summaries
+//	GET  /workflows/<id>            fetch a run (outputs + trace)
+//	POST /workflows/<id>/replay     re-execute and verify reproducibility
+type Service struct {
+	mu        sync.Mutex
+	processes map[string]ProcessFunc
+	seq       int
+	runs      map[string]*Run
+	order     []string
+}
+
+var _ http.Handler = (*Service)(nil)
+
+// Run is a stored workflow execution.
+type Run struct {
+	// ID is the run identifier ("wf1").
+	ID string `json:"id"`
+	// Definition is the submitted document.
+	Definition Definition `json:"definition"`
+	// Outputs maps node ID to its output map.
+	Outputs map[string]map[string]string `json:"outputs"`
+	// Trace is the provenance record.
+	Trace []TraceEntry `json:"trace"`
+	// Waves is the DAG depth.
+	Waves int `json:"waves"`
+	// Replays counts successful reproducibility checks.
+	Replays int `json:"replays"`
+}
+
+// NewService returns an empty workflow service.
+func NewService() *Service {
+	return &Service{
+		processes: make(map[string]ProcessFunc),
+		runs:      make(map[string]*Run),
+	}
+}
+
+// RegisterProcess makes a computation invocable from workflow nodes.
+func (s *Service) RegisterProcess(name string, fn ProcessFunc) error {
+	if name == "" || fn == nil {
+		return fmt.Errorf("empty process registration: %w", ErrBadDefinition)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.processes[name]; ok {
+		return fmt.Errorf("duplicate process %q: %w", name, ErrBadDefinition)
+	}
+	s.processes[name] = fn
+	return nil
+}
+
+// refPattern matches ${node.output} references.
+func parseRef(v string) (node, output string, ok bool) {
+	if !strings.HasPrefix(v, "${") || !strings.HasSuffix(v, "}") {
+		return "", "", false
+	}
+	inner := v[2 : len(v)-1]
+	node, output, found := strings.Cut(inner, ".")
+	if !found || node == "" || output == "" {
+		return "", "", false
+	}
+	return node, output, true
+}
+
+// build translates a Definition into an executable Workflow.
+func (s *Service) build(def Definition) (*Workflow, error) {
+	if def.Name == "" {
+		return nil, fmt.Errorf("workflow needs a name: %w", ErrBadDefinition)
+	}
+	if len(def.Nodes) == 0 {
+		return nil, fmt.Errorf("workflow %q has no nodes: %w", def.Name, ErrBadDefinition)
+	}
+	w := New(def.Name)
+	for _, nd := range def.Nodes {
+		nd := nd
+		s.mu.Lock()
+		fn, ok := s.processes[nd.Process]
+		s.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("node %s: unknown process %q: %w", nd.ID, nd.Process, ErrBadDefinition)
+		}
+		deps := map[string]bool{}
+		for _, a := range nd.After {
+			deps[a] = true
+		}
+		for _, v := range nd.Inputs {
+			if refNode, _, ok := parseRef(v); ok {
+				deps[refNode] = true
+			}
+		}
+		depList := make([]string, 0, len(deps))
+		for d := range deps {
+			depList = append(depList, d)
+		}
+		node := Node{
+			ID:   nd.ID,
+			Deps: depList,
+			Run: func(_ context.Context, upstream map[string]any) (any, error) {
+				inputs := make(map[string]string, len(nd.Inputs))
+				for k, v := range nd.Inputs {
+					refNode, refOut, ok := parseRef(v)
+					if !ok {
+						inputs[k] = v
+						continue
+					}
+					outs, ok := upstream[refNode].(map[string]string)
+					if !ok {
+						return nil, fmt.Errorf("reference %s: node %s produced no outputs", v, refNode)
+					}
+					val, ok := outs[refOut]
+					if !ok {
+						return nil, fmt.Errorf("reference %s: no output %q", v, refOut)
+					}
+					inputs[k] = val
+				}
+				return fn(inputs)
+			},
+		}
+		if err := w.Add(node); err != nil {
+			return nil, err
+		}
+	}
+	return w, nil
+}
+
+// Execute runs a definition and stores the result.
+func (s *Service) Execute(ctx context.Context, def Definition) (*Run, error) {
+	w, err := s.build(def)
+	if err != nil {
+		return nil, err
+	}
+	res, err := w.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{
+		Definition: def,
+		Outputs:    make(map[string]map[string]string, len(res.Outputs)),
+		Trace:      res.Trace,
+		Waves:      res.Waves,
+	}
+	for id, v := range res.Outputs {
+		outs, ok := v.(map[string]string)
+		if !ok {
+			return nil, fmt.Errorf("node %s produced %T, want map[string]string: %w", id, v, ErrBadDefinition)
+		}
+		run.Outputs[id] = outs
+	}
+	s.mu.Lock()
+	s.seq++
+	run.ID = "wf" + strconv.Itoa(s.seq)
+	s.runs[run.ID] = run
+	s.order = append(s.order, run.ID)
+	s.mu.Unlock()
+	return run, nil
+}
+
+// Replay re-executes a stored run and verifies fingerprints match.
+func (s *Service) Replay(ctx context.Context, runID string) (*Run, error) {
+	s.mu.Lock()
+	run, ok := s.runs[runID]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("run %q: %w", runID, ErrBadDefinition)
+	}
+	w, err := s.build(run.Definition)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := w.Replay(ctx, &Result{Trace: run.Trace}); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	run.Replays++
+	s.mu.Unlock()
+	return run, nil
+}
+
+// Runs lists stored runs in execution order.
+func (s *Service) Runs() []*Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Run, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.runs[id])
+	}
+	return out
+}
+
+// ServeHTTP implements the HTTP binding.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimPrefix(r.URL.Path, "/workflows")
+	path = strings.Trim(path, "/")
+	writeJSON := func(status int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		_ = json.NewEncoder(w).Encode(v)
+	}
+	switch {
+	case path == "" && r.Method == http.MethodPost:
+		var def Definition
+		if err := json.NewDecoder(r.Body).Decode(&def); err != nil {
+			writeJSON(http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
+			return
+		}
+		run, err := s.Execute(r.Context(), def)
+		if err != nil {
+			writeJSON(http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(http.StatusOK, run)
+	case path == "" && r.Method == http.MethodGet:
+		type summary struct {
+			ID      string `json:"id"`
+			Name    string `json:"name"`
+			Nodes   int    `json:"nodes"`
+			Waves   int    `json:"waves"`
+			Replays int    `json:"replays"`
+		}
+		var out []summary
+		for _, run := range s.Runs() {
+			out = append(out, summary{
+				ID: run.ID, Name: run.Definition.Name,
+				Nodes: len(run.Definition.Nodes), Waves: run.Waves, Replays: run.Replays,
+			})
+		}
+		writeJSON(http.StatusOK, out)
+	case strings.HasSuffix(path, "/replay") && r.Method == http.MethodPost:
+		id := strings.TrimSuffix(path, "/replay")
+		run, err := s.Replay(r.Context(), id)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrNotReproducible) {
+				status = http.StatusConflict
+			}
+			writeJSON(status, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(http.StatusOK, run)
+	case path != "" && r.Method == http.MethodGet:
+		s.mu.Lock()
+		run, ok := s.runs[path]
+		s.mu.Unlock()
+		if !ok {
+			writeJSON(http.StatusNotFound, map[string]string{"error": "no run " + path})
+			return
+		}
+		writeJSON(http.StatusOK, run)
+	default:
+		writeJSON(http.StatusMethodNotAllowed, map[string]string{"error": r.Method + " " + r.URL.Path})
+	}
+}

@@ -1,0 +1,268 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// testService registers simple arithmetic processes.
+func testService(t *testing.T) *Service {
+	t.Helper()
+	s := NewService()
+	mustRegister := func(name string, fn ProcessFunc) {
+		t.Helper()
+		if err := s.RegisterProcess(name, fn); err != nil {
+			t.Fatalf("RegisterProcess(%s): %v", name, err)
+		}
+	}
+	mustRegister("const", func(in map[string]string) (map[string]string, error) {
+		return map[string]string{"value": in["value"]}, nil
+	})
+	mustRegister("double", func(in map[string]string) (map[string]string, error) {
+		v, err := strconv.Atoi(in["value"])
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{"value": strconv.Itoa(v * 2)}, nil
+	})
+	mustRegister("add", func(in map[string]string) (map[string]string, error) {
+		a, err := strconv.Atoi(in["a"])
+		if err != nil {
+			return nil, err
+		}
+		b, err := strconv.Atoi(in["b"])
+		if err != nil {
+			return nil, err
+		}
+		return map[string]string{"sum": strconv.Itoa(a + b)}, nil
+	})
+	return s
+}
+
+func pipelineDef() Definition {
+	return Definition{
+		Name: "arith",
+		Nodes: []NodeDef{
+			{ID: "x", Process: "const", Inputs: map[string]string{"value": "5"}},
+			{ID: "y", Process: "const", Inputs: map[string]string{"value": "7"}},
+			{ID: "x2", Process: "double", Inputs: map[string]string{"value": "${x.value}"}},
+			{ID: "total", Process: "add", Inputs: map[string]string{"a": "${x2.value}", "b": "${y.value}"}},
+		},
+	}
+}
+
+func TestRegisterProcessValidation(t *testing.T) {
+	s := NewService()
+	if err := s.RegisterProcess("", nil); !errors.Is(err, ErrBadDefinition) {
+		t.Fatalf("empty registration err = %v", err)
+	}
+	ok := func(map[string]string) (map[string]string, error) { return nil, nil }
+	if err := s.RegisterProcess("p", ok); err != nil {
+		t.Fatalf("RegisterProcess: %v", err)
+	}
+	if err := s.RegisterProcess("p", ok); !errors.Is(err, ErrBadDefinition) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+}
+
+func TestExecuteDataflowReferences(t *testing.T) {
+	s := testService(t)
+	run, err := s.Execute(context.Background(), pipelineDef())
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if run.Outputs["total"]["sum"] != "17" {
+		t.Fatalf("total = %v, want 17 (5*2+7)", run.Outputs["total"])
+	}
+	if run.Waves != 3 {
+		t.Fatalf("waves = %d, want 3", run.Waves)
+	}
+	if run.ID == "" {
+		t.Fatal("run has no ID")
+	}
+}
+
+func TestExecuteDefinitionErrors(t *testing.T) {
+	s := testService(t)
+	tests := []struct {
+		name string
+		def  Definition
+	}{
+		{"no name", Definition{Nodes: []NodeDef{{ID: "a", Process: "const"}}}},
+		{"no nodes", Definition{Name: "x"}},
+		{"unknown process", Definition{Name: "x", Nodes: []NodeDef{{ID: "a", Process: "nope"}}}},
+		{"missing ref node", Definition{Name: "x", Nodes: []NodeDef{
+			{ID: "a", Process: "double", Inputs: map[string]string{"value": "${ghost.value}"}},
+		}}},
+		{"cycle via after", Definition{Name: "x", Nodes: []NodeDef{
+			{ID: "a", Process: "const", After: []string{"b"}},
+			{ID: "b", Process: "const", After: []string{"a"}},
+		}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := s.Execute(context.Background(), tc.def); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestExecuteBadReferenceOutput(t *testing.T) {
+	s := testService(t)
+	def := Definition{Name: "x", Nodes: []NodeDef{
+		{ID: "a", Process: "const", Inputs: map[string]string{"value": "1"}},
+		{ID: "b", Process: "double", Inputs: map[string]string{"value": "${a.missing}"}},
+	}}
+	if _, err := s.Execute(context.Background(), def); !errors.Is(err, ErrNodeFailed) {
+		t.Fatalf("missing output err = %v", err)
+	}
+}
+
+func TestReplayStoredRun(t *testing.T) {
+	s := testService(t)
+	run, err := s.Execute(context.Background(), pipelineDef())
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	again, err := s.Replay(context.Background(), run.ID)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if again.Replays != 1 {
+		t.Fatalf("replays = %d", again.Replays)
+	}
+	if _, err := s.Replay(context.Background(), "ghost"); !errors.Is(err, ErrBadDefinition) {
+		t.Fatalf("unknown run err = %v", err)
+	}
+}
+
+func TestReplayDetectsNondeterministicProcess(t *testing.T) {
+	s := NewService()
+	var n atomic.Int64
+	s.RegisterProcess("flaky", func(map[string]string) (map[string]string, error) {
+		return map[string]string{"v": strconv.FormatInt(n.Add(1), 10)}, nil
+	})
+	run, err := s.Execute(context.Background(), Definition{
+		Name: "f", Nodes: []NodeDef{{ID: "a", Process: "flaky"}},
+	})
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if _, err := s.Replay(context.Background(), run.ID); !errors.Is(err, ErrNotReproducible) {
+		t.Fatalf("Replay err = %v", err)
+	}
+}
+
+func TestHTTPLifecycle(t *testing.T) {
+	s := testService(t)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	// Submit.
+	def := `{"name":"arith","nodes":[
+		{"id":"x","process":"const","inputs":{"value":"5"}},
+		{"id":"x2","process":"double","inputs":{"value":"${x.value}"}}
+	]}`
+	resp, err := http.Post(srv.URL+"/workflows", "application/json", strings.NewReader(def))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("submit = %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"value":"10"`) {
+		t.Fatalf("run output missing: %s", body)
+	}
+	idIdx := strings.Index(string(body), `"id":"wf`)
+	if idIdx < 0 {
+		t.Fatalf("no run id: %s", body)
+	}
+	runID := "wf1"
+
+	// List.
+	resp, _ = http.Get(srv.URL + "/workflows")
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"name":"arith"`) {
+		t.Fatalf("list = %s", body)
+	}
+
+	// Fetch.
+	resp, _ = http.Get(srv.URL + "/workflows/" + runID)
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "trace") {
+		t.Fatalf("fetch = %d %s", resp.StatusCode, body)
+	}
+
+	// Replay.
+	resp, _ = http.Post(srv.URL+"/workflows/"+runID+"/replay", "application/json", nil)
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"replays":1`) {
+		t.Fatalf("replay = %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s := testService(t)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+
+	resp, _ := http.Post(srv.URL+"/workflows", "application/json", strings.NewReader("{bad"))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json = %d", resp.StatusCode)
+	}
+	resp, _ = http.Get(srv.URL + "/workflows/ghost")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost run = %d", resp.StatusCode)
+	}
+	resp, _ = http.Post(srv.URL+"/workflows/ghost/replay", "application/json", nil)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ghost replay = %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/workflows", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+}
+
+func TestParseRef(t *testing.T) {
+	tests := []struct {
+		in        string
+		node, out string
+		ok        bool
+	}{
+		{"${a.b}", "a", "b", true},
+		{"${run.hydrograph}", "run", "hydrograph", true},
+		{"literal", "", "", false},
+		{"${nodot}", "", "", false},
+		{"${.x}", "", "", false},
+		{"${x.}", "", "", false},
+		{"${a.b", "", "", false},
+	}
+	for _, tc := range tests {
+		node, out, ok := parseRef(tc.in)
+		if node != tc.node || out != tc.out || ok != tc.ok {
+			t.Errorf("parseRef(%q) = %q,%q,%v", tc.in, node, out, ok)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func constNode(id string, v any, deps ...string) Node {
+	return Node{ID: id, Deps: deps, Run: func(context.Context, map[string]any) (any, error) {
+		return v, nil
+	}}
+}
+
+func TestAddValidation(t *testing.T) {
+	w := New("t")
+	if err := w.Add(Node{ID: "", Run: constNode("x", 1).Run}); !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("empty ID err = %v", err)
+	}
+	if err := w.Add(Node{ID: "a"}); !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("nil runner err = %v", err)
+	}
+	if err := w.Add(constNode("a", 1)); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := w.Add(constNode("a", 2)); !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+}
+
+func TestValidateGraphErrors(t *testing.T) {
+	empty := New("empty")
+	if _, err := empty.Validate(); !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("empty err = %v", err)
+	}
+
+	missing := New("missing")
+	missing.Add(constNode("a", 1, "ghost"))
+	if _, err := missing.Validate(); !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("missing dep err = %v", err)
+	}
+
+	cyclic := New("cyclic")
+	cyclic.Add(constNode("a", 1, "b"))
+	cyclic.Add(constNode("b", 1, "a"))
+	if _, err := cyclic.Validate(); !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("cycle err = %v", err)
+	}
+}
+
+func TestValidateTopologicalOrder(t *testing.T) {
+	w := New("diamond")
+	w.Add(constNode("d", 4, "b", "c"))
+	w.Add(constNode("b", 2, "a"))
+	w.Add(constNode("c", 3, "a"))
+	w.Add(constNode("a", 1))
+	topo, err := w.Validate()
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	pos := make(map[string]int, len(topo))
+	for i, id := range topo {
+		pos[id] = i
+	}
+	for _, pair := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}} {
+		if pos[pair[0]] >= pos[pair[1]] {
+			t.Fatalf("topo order violates %s < %s: %v", pair[0], pair[1], topo)
+		}
+	}
+}
+
+func TestExecuteDataflow(t *testing.T) {
+	// rain -> double -> plus third input -> sum
+	w := New("pipeline")
+	w.Add(Node{ID: "rain", Run: func(context.Context, map[string]any) (any, error) {
+		return 10.0, nil
+	}})
+	w.Add(Node{ID: "double", Deps: []string{"rain"}, Run: func(_ context.Context, in map[string]any) (any, error) {
+		return in["rain"].(float64) * 2, nil
+	}})
+	w.Add(Node{ID: "offset", Run: func(context.Context, map[string]any) (any, error) {
+		return 5.0, nil
+	}})
+	w.Add(Node{ID: "sum", Deps: []string{"double", "offset"}, Run: func(_ context.Context, in map[string]any) (any, error) {
+		return in["double"].(float64) + in["offset"].(float64), nil
+	}})
+
+	res, err := w.Execute(context.Background())
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if res.Outputs["sum"] != 25.0 {
+		t.Fatalf("sum = %v, want 25", res.Outputs["sum"])
+	}
+	if res.Waves != 3 {
+		t.Fatalf("waves = %d, want 3", res.Waves)
+	}
+	if len(res.Trace) != 4 {
+		t.Fatalf("trace = %d entries", len(res.Trace))
+	}
+	// Trace is ordered by wave then ID and carries inputs.
+	if res.Trace[0].Wave != 0 || res.Trace[len(res.Trace)-1].Node != "sum" {
+		t.Fatalf("trace order: %+v", res.Trace)
+	}
+	for _, e := range res.Trace {
+		if e.Node == "sum" && (len(e.Inputs) != 2 || e.Inputs[0] != "double") {
+			t.Fatalf("sum inputs = %v", e.Inputs)
+		}
+		if e.Fingerprint == "" {
+			t.Fatalf("missing fingerprint for %s", e.Node)
+		}
+	}
+}
+
+func TestExecuteParallelWave(t *testing.T) {
+	// Independent nodes in the same wave run concurrently: with a
+	// 2-node wave where each waits for the other, serial execution would
+	// deadlock; concurrent execution finishes.
+	var entered sync.WaitGroup
+	entered.Add(2)
+	barrier := make(chan struct{})
+	go func() {
+		entered.Wait()
+		close(barrier)
+	}()
+	mk := func(id string) Node {
+		return Node{ID: id, Run: func(ctx context.Context, _ map[string]any) (any, error) {
+			entered.Done()
+			select {
+			case <-barrier:
+				return id, nil
+			case <-time.After(10 * time.Second):
+				return nil, errors.New("peer never entered: not parallel")
+			}
+		}}
+	}
+	w := New("par")
+	w.Add(mk("a"))
+	w.Add(mk("b"))
+	if _, err := w.Execute(context.Background()); err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+}
+
+func TestExecuteNodeFailure(t *testing.T) {
+	w := New("fail")
+	w.Add(constNode("ok", 1))
+	w.Add(Node{ID: "bad", Deps: []string{"ok"}, Run: func(context.Context, map[string]any) (any, error) {
+		return nil, errors.New("boom")
+	}})
+	var downstreamRan atomic.Bool
+	w.Add(Node{ID: "after", Deps: []string{"bad"}, Run: func(context.Context, map[string]any) (any, error) {
+		downstreamRan.Store(true)
+		return 1, nil
+	}})
+	_, err := w.Execute(context.Background())
+	if !errors.Is(err, ErrNodeFailed) {
+		t.Fatalf("err = %v, want ErrNodeFailed", err)
+	}
+	if downstreamRan.Load() {
+		t.Fatal("downstream node ran after failure")
+	}
+}
+
+func TestExecuteCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	w := New("cancel")
+	w.Add(Node{ID: "first", Run: func(context.Context, map[string]any) (any, error) {
+		cancel()
+		return 1, nil
+	}})
+	w.Add(Node{ID: "second", Deps: []string{"first"}, Run: func(context.Context, map[string]any) (any, error) {
+		return 2, nil
+	}})
+	if _, err := w.Execute(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestReplayReproducible(t *testing.T) {
+	w := New("repro")
+	w.Add(constNode("a", 42))
+	w.Add(Node{ID: "b", Deps: []string{"a"}, Run: func(_ context.Context, in map[string]any) (any, error) {
+		return in["a"].(int) * 2, nil
+	}})
+	ref, err := w.Execute(context.Background())
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	res, err := w.Replay(context.Background(), ref)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if res.Outputs["b"] != 84 {
+		t.Fatalf("replayed b = %v", res.Outputs["b"])
+	}
+}
+
+func TestReplayDetectsNondeterminism(t *testing.T) {
+	var counter atomic.Int64
+	w := New("flaky")
+	w.Add(Node{ID: "n", Run: func(context.Context, map[string]any) (any, error) {
+		return counter.Add(1), nil // different output each run
+	}})
+	ref, err := w.Execute(context.Background())
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if _, err := w.Replay(context.Background(), ref); !errors.Is(err, ErrNotReproducible) {
+		t.Fatalf("Replay err = %v, want ErrNotReproducible", err)
+	}
+	if _, err := w.Replay(context.Background(), nil); !errors.Is(err, ErrBadGraph) {
+		t.Fatalf("nil reference err = %v", err)
+	}
+}
+
+func TestReplayDetectsMissingNode(t *testing.T) {
+	w := New("w")
+	w.Add(constNode("a", 1))
+	ref := &Result{Trace: []TraceEntry{{Node: "other", Fingerprint: "x"}}}
+	if _, err := w.Replay(context.Background(), ref); !errors.Is(err, ErrNotReproducible) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	if Fingerprint([]float64{1, 2, 3}) != Fingerprint([]float64{1, 2, 3}) {
+		t.Fatal("equal values fingerprint differently")
+	}
+	if Fingerprint(1) == Fingerprint(2) {
+		t.Fatal("different values collide (suspicious)")
+	}
+}

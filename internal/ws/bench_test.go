@@ -1,0 +1,71 @@
+package ws
+
+import (
+	"bytes"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// BenchmarkFrameRoundTrip measures frame encode+decode for a 512-byte
+// masked payload (the session-update message size class).
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	payload := make([]byte, 512)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := writeFrame(&buf, frame{fin: true, opcode: OpBinary, masked: true, payload: payload}, rng); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := readFrame(&buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEchoMessage measures a full client->server->client message
+// round trip over a live socket pair.
+func BenchmarkEchoMessage(b *testing.B) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		conn, err := Upgrade(w, r)
+		if err != nil {
+			return
+		}
+		defer conn.Close(CloseNormal, "")
+		for {
+			msg, err := conn.ReadMessage()
+			if err != nil {
+				return
+			}
+			if err := conn.WriteMessage(msg.Op, msg.Payload); err != nil {
+				return
+			}
+		}
+	}))
+	defer srv.Close()
+	conn, err := Dial("ws" + strings.TrimPrefix(srv.URL, "http"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close(CloseNormal, "")
+
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := conn.WriteMessage(OpBinary, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := conn.ReadMessage(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

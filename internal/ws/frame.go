@@ -1,0 +1,192 @@
+// Package ws is a minimal RFC 6455 WebSocket implementation built only on
+// the standard library. It exists because the paper's Resource Broker
+// communicates with the browser over "HTML5 WebSockets which facilitates
+// event-based asynchronous duplex communication without the need for
+// periodic polling or streaming" (Section IV-D) — so the reproduction
+// implements the actual wire protocol rather than approximating it.
+//
+// Scope: the subset EVOp needs — text/binary data frames, fragmentation-
+// free messages, ping/pong, close handshake, client masking — over
+// net.Conn, with an http.Handler server upgrade and a Dial client.
+package ws
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+)
+
+// Common errors.
+var (
+	// ErrProtocol indicates a violation of RFC 6455 framing rules.
+	ErrProtocol = errors.New("ws: protocol violation")
+	// ErrClosed indicates use of a closed connection.
+	ErrClosed = errors.New("ws: connection closed")
+	// ErrTooLarge indicates a frame above the configured read limit.
+	ErrTooLarge = errors.New("ws: frame exceeds read limit")
+	// ErrHandshake indicates a failed opening handshake.
+	ErrHandshake = errors.New("ws: handshake failed")
+)
+
+// Opcode is the WebSocket frame opcode.
+type Opcode byte
+
+// Frame opcodes (RFC 6455 Section 5.2).
+const (
+	OpContinuation Opcode = 0x0
+	OpText         Opcode = 0x1
+	OpBinary       Opcode = 0x2
+	OpClose        Opcode = 0x8
+	OpPing         Opcode = 0x9
+	OpPong         Opcode = 0xA
+)
+
+// String returns the opcode name.
+func (o Opcode) String() string {
+	switch o {
+	case OpContinuation:
+		return "continuation"
+	case OpText:
+		return "text"
+	case OpBinary:
+		return "binary"
+	case OpClose:
+		return "close"
+	case OpPing:
+		return "ping"
+	case OpPong:
+		return "pong"
+	default:
+		return fmt.Sprintf("Opcode(%#x)", byte(o))
+	}
+}
+
+// IsControl reports whether the opcode is a control frame.
+func (o Opcode) IsControl() bool { return o >= OpClose }
+
+// frame is one wire frame.
+type frame struct {
+	fin     bool
+	opcode  Opcode
+	masked  bool
+	maskKey [4]byte
+	payload []byte
+}
+
+// writeFrame encodes and writes one frame. If mask is true a random mask
+// key (from rng) is applied, as clients must do.
+func writeFrame(w io.Writer, f frame, rng *rand.Rand) error {
+	if f.opcode.IsControl() && len(f.payload) > 125 {
+		return fmt.Errorf("control frame payload %d > 125: %w", len(f.payload), ErrProtocol)
+	}
+	var hdr [14]byte
+	n := 2
+	hdr[0] = byte(f.opcode)
+	if f.fin {
+		hdr[0] |= 0x80
+	}
+	plen := len(f.payload)
+	switch {
+	case plen <= 125:
+		hdr[1] = byte(plen)
+	case plen <= 0xFFFF:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(plen))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(plen))
+		n = 10
+	}
+	payload := f.payload
+	if f.masked {
+		hdr[1] |= 0x80
+		var key [4]byte
+		if rng != nil {
+			rng.Read(key[:])
+		} else {
+			copy(key[:], f.maskKey[:])
+		}
+		copy(hdr[n:n+4], key[:])
+		n += 4
+		masked := make([]byte, plen)
+		for i, b := range payload {
+			masked[i] = b ^ key[i%4]
+		}
+		payload = masked
+	}
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("writing frame header: %w", err)
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return fmt.Errorf("writing frame payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// readFrame reads and decodes one frame, unmasking if necessary.
+// maxPayload bounds the accepted payload size (<=0 means unlimited).
+func readFrame(r io.Reader, maxPayload int64) (frame, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return frame{}, fmt.Errorf("reading frame header: %w", err)
+	}
+	var f frame
+	f.fin = hdr[0]&0x80 != 0
+	if hdr[0]&0x70 != 0 {
+		return frame{}, fmt.Errorf("nonzero RSV bits: %w", ErrProtocol)
+	}
+	f.opcode = Opcode(hdr[0] & 0x0F)
+	f.masked = hdr[1]&0x80 != 0
+	plen := int64(hdr[1] & 0x7F)
+	switch plen {
+	case 126:
+		var ext [2]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return frame{}, fmt.Errorf("reading extended length: %w", err)
+		}
+		plen = int64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return frame{}, fmt.Errorf("reading extended length: %w", err)
+		}
+		v := binary.BigEndian.Uint64(ext[:])
+		if v > 1<<62 {
+			return frame{}, fmt.Errorf("payload length %d: %w", v, ErrProtocol)
+		}
+		plen = int64(v)
+	}
+	if f.opcode.IsControl() {
+		if !f.fin {
+			return frame{}, fmt.Errorf("fragmented control frame: %w", ErrProtocol)
+		}
+		if plen > 125 {
+			return frame{}, fmt.Errorf("control frame payload %d: %w", plen, ErrProtocol)
+		}
+	}
+	if maxPayload > 0 && plen > maxPayload {
+		return frame{}, fmt.Errorf("payload %d > limit %d: %w", plen, maxPayload, ErrTooLarge)
+	}
+	if f.masked {
+		if _, err := io.ReadFull(r, f.maskKey[:]); err != nil {
+			return frame{}, fmt.Errorf("reading mask key: %w", err)
+		}
+	}
+	if plen > 0 {
+		f.payload = make([]byte, plen)
+		if _, err := io.ReadFull(r, f.payload); err != nil {
+			return frame{}, fmt.Errorf("reading payload: %w", err)
+		}
+		if f.masked {
+			for i := range f.payload {
+				f.payload[i] ^= f.maskKey[i%4]
+			}
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,44 @@
+package ws
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// FuzzReadFrame hardens the wire-frame parser against malformed input:
+// it must never panic and never allocate beyond the read limit.
+func FuzzReadFrame(f *testing.F) {
+	// Seed with valid frames of each class.
+	rng := rand.New(rand.NewSource(1))
+	for _, fr := range []frame{
+		{fin: true, opcode: OpText, payload: []byte("hello")},
+		{fin: true, opcode: OpBinary, masked: true, payload: bytes.Repeat([]byte{7}, 200)},
+		{fin: true, opcode: OpPing, payload: []byte("beat")},
+		{fin: true, opcode: OpClose, payload: []byte{0x03, 0xe8}},
+	} {
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, fr, rng); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{0x81, 0xFF}) // 64-bit length marker, truncated
+	f.Add([]byte{0xFF, 0x00}) // all bits set
+	f.Add([]byte{})           // empty
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := readFrame(bytes.NewReader(data), 1<<16)
+		if err != nil {
+			return // malformed input must error, not panic
+		}
+		// A successfully parsed frame must re-encode.
+		var buf bytes.Buffer
+		if fr.opcode.IsControl() && len(fr.payload) > 125 {
+			t.Fatalf("parser accepted oversized control frame: %d bytes", len(fr.payload))
+		}
+		if err := writeFrame(&buf, fr, rand.New(rand.NewSource(2))); err != nil {
+			t.Fatalf("re-encoding parsed frame: %v", err)
+		}
+	})
+}
