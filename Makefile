@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test check bench fuzz
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the CI tier: static analysis plus the race-enabled suite.
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+fuzz:
+	$(GO) test -fuzz FuzzReadFrame -fuzztime 30s ./internal/ws

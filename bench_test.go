@@ -15,12 +15,17 @@ import (
 	"testing"
 	"time"
 
+	"evop/internal/broker"
 	"evop/internal/catchment"
+	"evop/internal/clock"
+	"evop/internal/cloud"
+	"evop/internal/cloud/crosscloud"
 	"evop/internal/experiments"
 	"evop/internal/hydro"
 	"evop/internal/hydro/calibrate"
 	"evop/internal/hydro/fuse"
 	"evop/internal/hydro/topmodel"
+	"evop/internal/loadbalancer"
 	"evop/internal/timeseries"
 	"evop/internal/weather"
 )
@@ -206,6 +211,129 @@ func BenchmarkFlotEncode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := f.Rain.FlotJSON(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBrokerChurn measures session churn — one connect plus (once a
+// rolling window fills) one disconnect per op — against a broker driven by
+// a running load-balancer control loop on a simulated clock. The broker's
+// structures are O(live + recently closed), so per-op cost and the
+// reported ns/tick must stay flat as b.N (historical session count)
+// grows; before the live-list/per-instance-index rework both grew
+// linearly with every session ever created.
+func BenchmarkBrokerChurn(b *testing.B) {
+	clk := clock.NewSimulated(benchStart)
+	private, err := cloud.NewProvider(cloud.Config{
+		Name: "openstack", Kind: cloud.Private, MaxInstances: 8,
+		BootDelay: 30 * time.Second, AddrPrefix: "10.1.0.", Clock: clk,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	multi, err := crosscloud.New(crosscloud.PrivateFirst{}, private)
+	if err != nil {
+		b.Fatal(err)
+	}
+	brk, err := broker.NewWithOptions(clk, broker.Options{Retention: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lb, err := loadbalancer.New(loadbalancer.Config{
+		Multi: multi, Broker: brk, Clock: clk,
+		Image:  cloud.Image{ID: "svc-v1", Kind: cloud.Streamlined, Services: []string{"topmodel"}},
+		Flavor: cloud.DefaultFlavor(), Interval: 10 * time.Second,
+		MinInstances: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the floor so connects place immediately.
+	for i := 0; i < 4; i++ {
+		clk.Advance(45 * time.Second)
+		lb.Tick()
+	}
+
+	const window = 24 // concurrently open sessions
+	var open []string
+	var tickTime time.Duration
+	ticks := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := brk.Connect("bench", "topmodel")
+		if err != nil {
+			b.Fatal(err)
+		}
+		open = append(open, s.ID)
+		if len(open) > window {
+			if err := brk.Disconnect(open[0]); err != nil {
+				b.Fatal(err)
+			}
+			open = open[1:]
+		}
+		if i%64 == 63 { // a control tick every 64 churn ops
+			clk.Advance(10 * time.Second)
+			start := time.Now()
+			lb.Tick()
+			tickTime += time.Since(start)
+			ticks++
+		}
+	}
+	b.StopTimer()
+	if ticks > 0 {
+		b.ReportMetric(float64(tickTime.Nanoseconds())/float64(ticks), "ns/tick")
+	}
+	if got := brk.LiveCount(); got > window {
+		b.Fatalf("LiveCount = %d after churn, want <= %d (closed sessions leaked)", got, window)
+	}
+}
+
+// BenchmarkBrokerSessionsOn measures the per-instance session view the LB
+// reads for every instance on every tick, with a large closed-session
+// history behind it.
+func BenchmarkBrokerSessionsOn(b *testing.B) {
+	clk := clock.NewSimulated(benchStart)
+	provider, err := cloud.NewProvider(cloud.Config{
+		Name: "p", Kind: cloud.Private, MaxInstances: 2,
+		BootDelay: time.Second, AddrPrefix: "10.0.0.", Clock: clk,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := provider.Launch(cloud.Image{ID: "svc", Kind: cloud.Streamlined, Services: []string{"topmodel"}}, cloud.DefaultFlavor())
+	if err != nil {
+		b.Fatal(err)
+	}
+	clk.Advance(2 * time.Second)
+	brk, err := broker.New(clk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// 50k sessions of history, 4 still live on the instance.
+	for i := 0; i < 50_000; i++ {
+		s, err := brk.Connect("hist", "topmodel")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := brk.Disconnect(s.ID); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		s, err := brk.Connect("live", "topmodel")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := brk.Migrate(s.ID, inst, "bind"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := brk.SessionsOn(inst.ID()); len(got) != 4 {
+			b.Fatalf("SessionsOn = %d, want 4", len(got))
 		}
 	}
 }

@@ -1,0 +1,7 @@
+#!/bin/sh
+# CI check tier: static analysis + race-enabled tests, as `make check`
+# but with no make dependency.
+set -eu
+cd "$(dirname "$0")"
+go vet ./...
+go test -race ./...

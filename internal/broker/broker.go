@@ -9,9 +9,33 @@
 // The broker does not decide placement policy itself: a Placer (the Load
 // Balancer) is consulted for immediate placement, and sessions that cannot
 // be placed yet are queued as pending until capacity appears.
+//
+// # Session bookkeeping
+//
+// The broker keeps memory O(live + recently closed), not O(every session
+// ever created):
+//
+//   - Live (Pending or Active) sessions sit in an insertion-ordered list,
+//     so Sessions() is O(live).
+//   - Active sessions are additionally indexed per instance, so
+//     SessionsOn() is O(sessions on that instance) — the Load Balancer
+//     calls it for every instance on every control tick.
+//   - Closed sessions are evicted from the live structures and retained
+//     only as snapshots in a bounded ring (Options.Retention), so a
+//     just-closed session still answers Session()/Subscribe() queries
+//     while long-dead ones stop costing memory.
+//   - The pending queue is deduplicated: a session is never enqueued
+//     twice, and PendingCount() is O(1).
+//
+// Push delivery coalesces per session: when a subscriber falls behind, the
+// oldest queued update is discarded (and counted in DroppedUpdates) so the
+// newest session state — notably an UpdateMigrated redirect — always
+// arrives. A dropped update therefore means "superseded", never "the
+// browser missed the final state".
 package broker
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"strconv"
@@ -126,34 +150,102 @@ type Placer interface {
 	PlaceNow(service string) *cloud.Instance
 }
 
+// Defaults for Options.
+const (
+	// DefaultRetention is how many closed-session snapshots are kept.
+	DefaultRetention = 1024
+	// DefaultSubscriberBuffer is the per-session push channel capacity.
+	DefaultSubscriberBuffer = 16
+)
+
+// Options tunes the broker's bounded structures. The zero value selects
+// the defaults.
+type Options struct {
+	// Retention is how many recently closed sessions remain queryable via
+	// Session/Subscribe after Disconnect. Older closed sessions are
+	// forgotten entirely. Negative disables retention; zero means
+	// DefaultRetention.
+	Retention int
+	// SubscriberBuffer is the capacity of each session's update channel.
+	// Zero means DefaultSubscriberBuffer; values below 1 are rejected.
+	SubscriberBuffer int
+}
+
 // Broker is the Resource Broker.
 type Broker struct {
-	clk clock.Clock
+	clk       clock.Clock
+	retention int
+	subBuf    int
 
-	mu       sync.Mutex
-	seq      int
+	mu  sync.Mutex
+	seq int
+	// sessions holds live (Pending or Active) sessions only; closed
+	// sessions move to the retention ring.
 	sessions map[string]*Session
-	pending  []string // session IDs in arrival order
-	placer   Placer
-	subs     map[string]chan Update
-	// instances tracks which instance each active session is on, to
-	// release session slots on close/migrate.
+	// live orders live sessions by creation; elements hold *Session.
+	live     *list.List
+	liveElem map[string]*list.Element
+	// byInstance indexes active sessions per instance in bind order.
+	byInstance map[string][]*Session
+	// pending is the arrival-ordered queue of session IDs waiting for
+	// capacity; queued marks IDs currently in the slice so a session is
+	// never enqueued twice. numPending counts sessions in state Pending.
+	pending    []string
+	queued     map[string]bool
+	numPending int
+	// retained is a ring of closed-session IDs (oldest at head) whose
+	// snapshots live in retainedByID.
+	retained     []string
+	retainedHead int
+	retainedByID map[string]*Session
+
+	placer Placer
+	subs   map[string]chan Update
+	// bound tracks which instance each active session is on, to release
+	// session slots on close/migrate.
 	bound map[string]*cloud.Instance
 
 	// stats
-	dropped int
+	dropped     int
+	closedTotal int
 }
 
-// New returns a Broker using the given clock.
+// New returns a Broker with default options using the given clock.
 func New(clk clock.Clock) (*Broker, error) {
+	return NewWithOptions(clk, Options{})
+}
+
+// NewWithOptions returns a Broker with explicit limits.
+func NewWithOptions(clk clock.Clock, opts Options) (*Broker, error) {
 	if clk == nil {
 		return nil, fmt.Errorf("nil clock: %w", ErrBadConfig)
 	}
+	retention := opts.Retention
+	switch {
+	case retention == 0:
+		retention = DefaultRetention
+	case retention < 0:
+		retention = 0
+	}
+	subBuf := opts.SubscriberBuffer
+	if subBuf == 0 {
+		subBuf = DefaultSubscriberBuffer
+	}
+	if subBuf < 1 {
+		return nil, fmt.Errorf("subscriber buffer %d: %w", opts.SubscriberBuffer, ErrBadConfig)
+	}
 	return &Broker{
-		clk:      clk,
-		sessions: make(map[string]*Session),
-		subs:     make(map[string]chan Update),
-		bound:    make(map[string]*cloud.Instance),
+		clk:          clk,
+		retention:    retention,
+		subBuf:       subBuf,
+		sessions:     make(map[string]*Session),
+		live:         list.New(),
+		liveElem:     make(map[string]*list.Element),
+		byInstance:   make(map[string][]*Session),
+		queued:       make(map[string]bool),
+		retainedByID: make(map[string]*Session),
+		subs:         make(map[string]chan Update),
+		bound:        make(map[string]*cloud.Instance),
 	}, nil
 }
 
@@ -182,6 +274,8 @@ func (b *Broker) Connect(userID, service string) (Session, error) {
 		CreatedAt: b.clk.Now(),
 	}
 	b.sessions[s.ID] = s
+	b.liveElem[s.ID] = b.live.PushBack(s)
+	b.numPending++
 	if b.placer != nil {
 		if inst := b.placer.PlaceNow(service); inst != nil {
 			if err := b.bindLocked(s, inst); err == nil {
@@ -189,14 +283,47 @@ func (b *Broker) Connect(userID, service string) (Session, error) {
 			}
 		}
 	}
-	b.pending = append(b.pending, s.ID)
+	b.enqueuePendingLocked(s.ID)
 	return *s, nil
+}
+
+// enqueuePendingLocked appends a session to the pending queue unless it is
+// already queued; the broker lock is held.
+func (b *Broker) enqueuePendingLocked(id string) {
+	if b.queued[id] {
+		return
+	}
+	// Amortised compaction: if the queue is dominated by stale entries
+	// (sessions that left the Pending state while queued), rebuild it so
+	// the slice stays O(pending) even when AssignPending never runs.
+	if len(b.pending) > 64 && len(b.pending) > 4*b.numPending {
+		b.compactPendingLocked()
+	}
+	b.pending = append(b.pending, id)
+	b.queued[id] = true
+}
+
+// compactPendingLocked drops queue entries whose session is no longer live
+// and Pending; the broker lock is held.
+func (b *Broker) compactPendingLocked() {
+	kept := b.pending[:0]
+	for _, id := range b.pending {
+		if s, ok := b.sessions[id]; ok && s.State == Pending {
+			kept = append(kept, id)
+		} else {
+			delete(b.queued, id)
+		}
+	}
+	b.pending = kept
 }
 
 // bindLocked binds a session to an instance; the broker lock is held.
 func (b *Broker) bindLocked(s *Session, inst *cloud.Instance) error {
 	if err := inst.AddSession(); err != nil {
 		return fmt.Errorf("binding session %s: %w", s.ID, err)
+	}
+	if s.State == Pending {
+		b.numPending--
 	}
 	s.State = Active
 	s.InstanceID = inst.ID()
@@ -205,8 +332,29 @@ func (b *Broker) bindLocked(s *Session, inst *cloud.Instance) error {
 		s.ActivatedAt = b.clk.Now()
 	}
 	b.bound[s.ID] = inst
+	b.byInstance[inst.ID()] = append(b.byInstance[inst.ID()], s)
 	b.pushLocked(s.ID, Update{Kind: UpdateAssigned, Session: *s, At: b.clk.Now()})
 	return nil
+}
+
+// unindexInstanceLocked removes a session from its instance's index; the
+// broker lock is held.
+func (b *Broker) unindexInstanceLocked(s *Session) {
+	if s.InstanceID == "" {
+		return
+	}
+	on := b.byInstance[s.InstanceID]
+	for i, cand := range on {
+		if cand.ID == s.ID {
+			on = append(on[:i], on[i+1:]...)
+			break
+		}
+	}
+	if len(on) == 0 {
+		delete(b.byInstance, s.InstanceID)
+	} else {
+		b.byInstance[s.InstanceID] = on
+	}
 }
 
 // AssignPending tries to bind queued sessions using the placer, oldest
@@ -222,6 +370,7 @@ func (b *Broker) AssignPending() int {
 	for _, id := range b.pending {
 		s, ok := b.sessions[id]
 		if !ok || s.State != Pending {
+			delete(b.queued, id)
 			continue
 		}
 		inst := b.placer.PlaceNow(s.Service)
@@ -233,20 +382,23 @@ func (b *Broker) AssignPending() int {
 			still = append(still, id)
 			continue
 		}
+		delete(b.queued, id)
 		assigned++
 	}
 	b.pending = still
 	return assigned
 }
 
-// Migrate moves an active session to a new instance and pushes an
-// UpdateMigrated message so the browser redirects ("RB is used to push
-// updated session information in order to redirect user calls").
+// Migrate moves a session to a new instance and pushes an UpdateMigrated
+// message so the browser redirects ("RB is used to push updated session
+// information in order to redirect user calls"). Migrating a still-pending
+// session activates it (the push is then UpdateAssigned); any stale
+// pending-queue entry is skipped and reclaimed by the next AssignPending.
 func (b *Broker) Migrate(sessionID string, to *cloud.Instance, reason string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s, ok := b.sessions[sessionID]
-	if !ok || s.State == Closed {
+	if !ok {
 		return fmt.Errorf("migrate %s: %w", sessionID, ErrNoSession)
 	}
 	if err := to.AddSession(); err != nil {
@@ -255,7 +407,11 @@ func (b *Broker) Migrate(sessionID string, to *cloud.Instance, reason string) er
 	if old := b.bound[sessionID]; old != nil {
 		old.RemoveSession()
 	}
+	b.unindexInstanceLocked(s)
 	wasPending := s.State == Pending
+	if wasPending {
+		b.numPending--
+	}
 	s.State = Active
 	s.InstanceID = to.ID()
 	s.InstanceAddr = to.Addr()
@@ -263,6 +419,7 @@ func (b *Broker) Migrate(sessionID string, to *cloud.Instance, reason string) er
 		s.ActivatedAt = b.clk.Now()
 	}
 	b.bound[sessionID] = to
+	b.byInstance[to.ID()] = append(b.byInstance[to.ID()], s)
 	kind := UpdateMigrated
 	if wasPending {
 		kind = UpdateAssigned
@@ -278,7 +435,8 @@ func (b *Broker) Suspend(sessionID, reason string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s, ok := b.sessions[sessionID]
-	if !ok || s.State == Closed {
+	if !ok {
+		// Closed (evicted) and unknown sessions alike cannot be suspended.
 		return fmt.Errorf("suspend %s: %w", sessionID, ErrNoSession)
 	}
 	if s.State == Pending {
@@ -288,109 +446,176 @@ func (b *Broker) Suspend(sessionID, reason string) error {
 		inst.RemoveSession()
 		delete(b.bound, sessionID)
 	}
+	b.unindexInstanceLocked(s)
 	s.State = Pending
 	s.InstanceID = ""
 	s.InstanceAddr = ""
-	b.pending = append(b.pending, sessionID)
+	b.numPending++
+	b.enqueuePendingLocked(sessionID)
 	b.pushLocked(sessionID, Update{Kind: UpdateSuspended, Session: *s, Reason: reason, At: b.clk.Now()})
 	return nil
 }
 
 // Disconnect ends a session, releasing its instance slot — this is how
-// the infrastructure "senses when user sessions end" to balance load.
+// the infrastructure "senses when user sessions end" to balance load. The
+// session is evicted from the live structures; a snapshot stays queryable
+// in the retention ring. Disconnecting an already-closed (retained)
+// session is a no-op.
 func (b *Broker) Disconnect(sessionID string) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	s, ok := b.sessions[sessionID]
 	if !ok {
+		if _, closed := b.retainedByID[sessionID]; closed {
+			return nil
+		}
 		return fmt.Errorf("disconnect %s: %w", sessionID, ErrNoSession)
-	}
-	if s.State == Closed {
-		return nil
 	}
 	if inst := b.bound[sessionID]; inst != nil {
 		inst.RemoveSession()
 		delete(b.bound, sessionID)
 	}
+	b.unindexInstanceLocked(s)
+	if s.State == Pending {
+		b.numPending--
+	}
 	s.State = Closed
+	b.closedTotal++
 	b.pushLocked(sessionID, Update{Kind: UpdateClosed, Session: *s, At: b.clk.Now()})
 	if ch, ok := b.subs[sessionID]; ok {
 		close(ch)
 		delete(b.subs, sessionID)
 	}
+	b.evictLocked(s)
 	return nil
 }
 
+// evictLocked removes a closed session from the live structures and files
+// its snapshot in the retention ring; the broker lock is held.
+func (b *Broker) evictLocked(s *Session) {
+	delete(b.sessions, s.ID)
+	if el, ok := b.liveElem[s.ID]; ok {
+		b.live.Remove(el)
+		delete(b.liveElem, s.ID)
+	}
+	// The pending queue may still hold the ID; AssignPending or the next
+	// compaction reclaims it (b.queued keeps dedupe coherent meanwhile).
+	if b.retention == 0 {
+		return
+	}
+	snap := *s
+	if len(b.retained) < b.retention {
+		b.retained = append(b.retained, s.ID)
+	} else {
+		oldest := b.retained[b.retainedHead]
+		delete(b.retainedByID, oldest)
+		b.retained[b.retainedHead] = s.ID
+		b.retainedHead = (b.retainedHead + 1) % b.retention
+	}
+	b.retainedByID[s.ID] = &snap
+}
+
 // Subscribe returns the push channel for a session's updates (creating it
-// if needed). The channel is buffered; if the subscriber falls behind,
-// updates are dropped and counted. The channel closes when the session
-// ends.
+// if needed). The channel is buffered; if the subscriber falls behind, the
+// oldest queued update is dropped (and counted) so the latest state always
+// arrives. The channel closes when the session ends. Subscribing to a
+// recently closed session yields an already-closed channel.
 func (b *Broker) Subscribe(sessionID string) (<-chan Update, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	s, ok := b.sessions[sessionID]
-	if !ok {
+	if _, ok := b.sessions[sessionID]; !ok {
+		if _, closed := b.retainedByID[sessionID]; closed {
+			ch := make(chan Update)
+			close(ch)
+			return ch, nil
+		}
 		return nil, fmt.Errorf("subscribe %s: %w", sessionID, ErrNoSession)
-	}
-	if s.State == Closed {
-		ch := make(chan Update)
-		close(ch)
-		return ch, nil
 	}
 	ch, ok := b.subs[sessionID]
 	if !ok {
-		ch = make(chan Update, 16)
+		ch = make(chan Update, b.subBuf)
 		b.subs[sessionID] = ch
 	}
 	return ch, nil
 }
 
+// pushLocked delivers an update, coalescing per session: when the
+// subscriber's buffer is full the oldest queued update is discarded so the
+// newest session state (e.g. a migration redirect) is never lost.
 func (b *Broker) pushLocked(sessionID string, u Update) {
 	ch, ok := b.subs[sessionID]
 	if !ok {
 		return
 	}
-	select {
-	case ch <- u:
-	default:
-		b.dropped++
+	for {
+		select {
+		case ch <- u:
+			return
+		default:
+		}
+		select {
+		case <-ch:
+			b.dropped++
+		default:
+			// The subscriber drained concurrently; retry the send.
+		}
 	}
 }
 
-// Session returns a snapshot of one session.
+// Session returns a snapshot of one session. Recently closed sessions
+// (within the retention window) still resolve.
 func (b *Broker) Session(id string) (Session, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	s, ok := b.sessions[id]
-	if !ok {
-		return Session{}, fmt.Errorf("session %s: %w", id, ErrNoSession)
+	if s, ok := b.sessions[id]; ok {
+		return *s, nil
 	}
-	return *s, nil
+	if s, ok := b.retainedByID[id]; ok {
+		return *s, nil
+	}
+	return Session{}, fmt.Errorf("session %s: %w", id, ErrNoSession)
 }
 
-// Sessions returns snapshots of all sessions in creation order.
+// Sessions returns snapshots of all live (pending or active) sessions in
+// creation order. Closed sessions are not included; see RecentlyClosed and
+// ClosedTotal.
 func (b *Broker) Sessions() []Session {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	out := make([]Session, 0, len(b.sessions))
-	for i := 1; i <= b.seq; i++ {
-		if s, ok := b.sessions["s"+strconv.Itoa(i)]; ok {
+	out := make([]Session, 0, b.live.Len())
+	for el := b.live.Front(); el != nil; el = el.Next() {
+		out = append(out, *el.Value.(*Session))
+	}
+	return out
+}
+
+// RecentlyClosed returns snapshots of the retained closed sessions, oldest
+// first.
+func (b *Broker) RecentlyClosed() []Session {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Session, 0, len(b.retained))
+	for i := 0; i < len(b.retained); i++ {
+		id := b.retained[(b.retainedHead+i)%len(b.retained)]
+		if s, ok := b.retainedByID[id]; ok {
 			out = append(out, *s)
 		}
 	}
 	return out
 }
 
-// SessionsOn returns the active sessions bound to an instance.
+// SessionsOn returns the active sessions bound to an instance, in bind
+// order. Cost is proportional to that instance's session count only.
 func (b *Broker) SessionsOn(instanceID string) []Session {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	var out []Session
-	for i := 1; i <= b.seq; i++ {
-		s, ok := b.sessions["s"+strconv.Itoa(i)]
-		if ok && s.State == Active && s.InstanceID == instanceID {
-			out = append(out, *s)
-		}
+	on := b.byInstance[instanceID]
+	if len(on) == 0 {
+		return nil
+	}
+	out := make([]Session, 0, len(on))
+	for _, s := range on {
+		out = append(out, *s)
 	}
 	return out
 }
@@ -399,16 +624,26 @@ func (b *Broker) SessionsOn(instanceID string) []Session {
 func (b *Broker) PendingCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	n := 0
-	for _, id := range b.pending {
-		if s, ok := b.sessions[id]; ok && s.State == Pending {
-			n++
-		}
-	}
-	return n
+	return b.numPending
 }
 
-// DroppedUpdates reports push messages dropped due to slow subscribers.
+// LiveCount returns how many sessions are pending or active.
+func (b *Broker) LiveCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.sessions)
+}
+
+// ClosedTotal returns how many sessions have ever been closed.
+func (b *Broker) ClosedTotal() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closedTotal
+}
+
+// DroppedUpdates reports push messages superseded by newer ones for slow
+// subscribers. A dropped update is stale state the browser no longer
+// needs, not a lost redirect: the latest update is always delivered.
 func (b *Broker) DroppedUpdates() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()

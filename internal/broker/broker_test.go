@@ -305,6 +305,287 @@ func TestDroppedUpdatesCounted(t *testing.T) {
 	}
 }
 
+func TestSubscribeAfterDisconnect(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	inst := testInstance(t, clk)
+	b.SetPlacer(&fixedPlacer{inst: inst})
+	s, _ := b.Connect("gone", "topmodel")
+	if err := b.Disconnect(s.ID); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	// A recently closed session still resolves: the channel is closed.
+	ch, err := b.Subscribe(s.ID)
+	if err != nil {
+		t.Fatalf("Subscribe after Disconnect: %v", err)
+	}
+	if _, ok := <-ch; ok {
+		t.Fatal("closed session channel delivered a value")
+	}
+	// And its snapshot is still queryable from the retention ring.
+	snap, err := b.Session(s.ID)
+	if err != nil || snap.State != Closed {
+		t.Fatalf("Session after Disconnect = %+v, %v", snap, err)
+	}
+}
+
+func TestRetentionRingEvictsOldClosed(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, err := NewWithOptions(clk, Options{Retention: 3})
+	if err != nil {
+		t.Fatalf("NewWithOptions: %v", err)
+	}
+	inst := testInstance(t, clk)
+	b.SetPlacer(&fixedPlacer{inst: inst})
+	var ids []string
+	for i := 0; i < 8; i++ {
+		s, _ := b.Connect("churn", "topmodel")
+		ids = append(ids, s.ID)
+		if err := b.Disconnect(s.ID); err != nil {
+			t.Fatalf("Disconnect %d: %v", i, err)
+		}
+	}
+	if got := b.LiveCount(); got != 0 {
+		t.Fatalf("LiveCount = %d, want 0", got)
+	}
+	if got := b.ClosedTotal(); got != 8 {
+		t.Fatalf("ClosedTotal = %d, want 8", got)
+	}
+	recent := b.RecentlyClosed()
+	if len(recent) != 3 {
+		t.Fatalf("RecentlyClosed = %d sessions, want 3", len(recent))
+	}
+	for i, s := range recent {
+		if want := ids[5+i]; s.ID != want {
+			t.Fatalf("RecentlyClosed[%d] = %s, want %s (oldest first)", i, s.ID, want)
+		}
+	}
+	// Sessions beyond the retention window are fully forgotten.
+	if _, err := b.Session(ids[0]); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("evicted Session err = %v, want ErrNoSession", err)
+	}
+	if _, err := b.Subscribe(ids[0]); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("evicted Subscribe err = %v, want ErrNoSession", err)
+	}
+	// Retained ones are still idempotent to disconnect.
+	if err := b.Disconnect(ids[7]); err != nil {
+		t.Fatalf("Disconnect retained: %v", err)
+	}
+}
+
+func TestDoubleSuspendQueuesOnce(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	inst := testInstance(t, clk)
+	placer := &fixedPlacer{inst: inst}
+	b.SetPlacer(placer)
+	s, _ := b.Connect("flaky", "topmodel")
+	placer.inst = nil // nothing to reassign to yet
+	if err := b.Suspend(s.ID, "first"); err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	if err := b.Suspend(s.ID, "second"); err != nil {
+		t.Fatalf("double Suspend: %v", err)
+	}
+	if got := b.PendingCount(); got != 1 {
+		t.Fatalf("PendingCount = %d, want 1 (no duplicate queue entry)", got)
+	}
+	if got := len(b.pending); got != 1 {
+		t.Fatalf("pending queue length = %d, want 1", got)
+	}
+	// Capacity returns: exactly one assignment happens.
+	placer.inst = inst
+	if got := b.AssignPending(); got != 1 {
+		t.Fatalf("AssignPending = %d, want 1", got)
+	}
+	if inst.Sessions() != 1 {
+		t.Fatalf("instance sessions = %d, want 1 (bound once)", inst.Sessions())
+	}
+}
+
+func TestMigratePendingSessionClearsStaleQueueEntry(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	b.SetPlacer(&fixedPlacer{}) // no capacity: session queues
+	s, _ := b.Connect("eager", "topmodel")
+	ch, _ := b.Subscribe(s.ID)
+	inst := testInstance(t, clk)
+
+	// The LB migrates the still-pending session directly.
+	if err := b.Migrate(s.ID, inst, "fast path"); err != nil {
+		t.Fatalf("Migrate pending: %v", err)
+	}
+	got, _ := b.Session(s.ID)
+	if got.State != Active || got.InstanceID != inst.ID() {
+		t.Fatalf("session = %+v, want active on %s", got, inst.ID())
+	}
+	select {
+	case u := <-ch:
+		if u.Kind != UpdateAssigned {
+			t.Fatalf("push kind = %v, want assigned (first binding)", u.Kind)
+		}
+	default:
+		t.Fatal("no push for pending->active migration")
+	}
+	if got := b.PendingCount(); got != 0 {
+		t.Fatalf("PendingCount = %d, want 0", got)
+	}
+	// The stale queue entry must not double-bind the session.
+	b.SetPlacer(&fixedPlacer{inst: testInstance(t, clk)})
+	if got := b.AssignPending(); got != 0 {
+		t.Fatalf("AssignPending = %d, want 0 (stale entry skipped)", got)
+	}
+	if inst.Sessions() != 1 {
+		t.Fatalf("instance sessions = %d, want 1", inst.Sessions())
+	}
+	if got := len(b.pending); got != 0 {
+		t.Fatalf("pending queue length = %d, want 0 (stale entry reclaimed)", got)
+	}
+	if got := len(b.queued); got != 0 {
+		t.Fatalf("queued marks = %d, want 0", got)
+	}
+}
+
+func TestSlowSubscriberStillGetsFinalMigration(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, err := NewWithOptions(clk, Options{SubscriberBuffer: 4})
+	if err != nil {
+		t.Fatalf("NewWithOptions: %v", err)
+	}
+	instA := testInstance(t, clk)
+	instB := testInstance(t, clk)
+	b.SetPlacer(&fixedPlacer{inst: instA})
+	s, _ := b.Connect("slow", "topmodel")
+	ch, _ := b.Subscribe(s.ID)
+
+	// The subscriber stalls while the session migrates many times.
+	var last *cloud.Instance
+	for i := 0; i < 20; i++ {
+		last = instA
+		if i%2 == 0 {
+			last = instB
+		}
+		if err := b.Migrate(s.ID, last, "churn"); err != nil {
+			t.Fatalf("Migrate %d: %v", i, err)
+		}
+	}
+	if b.DroppedUpdates() == 0 {
+		t.Fatal("expected superseded updates to be counted")
+	}
+	// When the subscriber finally drains, the newest state — the final
+	// migration redirect — is the last message.
+	var final Update
+	n := 0
+	for {
+		select {
+		case u := <-ch:
+			final = u
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n == 0 || n > 4 {
+		t.Fatalf("drained %d updates, want 1..4 (buffer size)", n)
+	}
+	if final.Kind != UpdateMigrated {
+		t.Fatalf("final update kind = %v, want migrated", final.Kind)
+	}
+	if final.Session.InstanceID != last.ID() || final.Session.InstanceAddr != last.Addr() {
+		t.Fatalf("final redirect points at %s, want %s", final.Session.InstanceID, last.ID())
+	}
+
+	// A full buffer must not swallow the terminal close either.
+	for i := 0; i < 10; i++ {
+		target := instA
+		if i%2 == 0 {
+			target = instB
+		}
+		if err := b.Migrate(s.ID, target, "churn"); err != nil {
+			t.Fatalf("Migrate: %v", err)
+		}
+	}
+	if err := b.Disconnect(s.ID); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	var lastSeen Update
+	for u := range ch {
+		lastSeen = u
+	}
+	if lastSeen.Kind != UpdateClosed {
+		t.Fatalf("last delivered update = %v, want closed", lastSeen.Kind)
+	}
+}
+
+// TestChurnKeepsMemoryBounded runs 100k connect/disconnect cycles and
+// asserts the broker's structures stay O(live + retained): historical
+// session count must not grow any index SessionsOn/Sessions touch.
+func TestChurnKeepsMemoryBounded(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, err := NewWithOptions(clk, Options{Retention: 64})
+	if err != nil {
+		t.Fatalf("NewWithOptions: %v", err)
+	}
+	inst := testInstance(t, clk)
+	b.SetPlacer(&fixedPlacer{inst: inst})
+
+	const cycles = 100_000
+	var live []string
+	for i := 0; i < cycles; i++ {
+		s, err := b.Connect("churn", "topmodel")
+		if err != nil {
+			t.Fatalf("cycle %d connect: %v", i, err)
+		}
+		live = append(live, s.ID)
+		if len(live) > 4 { // keep a small rolling window of open sessions
+			oldest := live[0]
+			live = live[1:]
+			if err := b.Disconnect(oldest); err != nil {
+				t.Fatalf("cycle %d disconnect: %v", i, err)
+			}
+		}
+	}
+	if got := b.LiveCount(); got != len(live) {
+		t.Fatalf("LiveCount = %d, want %d", got, len(live))
+	}
+	if got := b.ClosedTotal(); got != cycles-len(live) {
+		t.Fatalf("ClosedTotal = %d, want %d", got, cycles-len(live))
+	}
+	// White-box: every structure is bounded by live + retention, never by
+	// the 100k historical sessions.
+	b.mu.Lock()
+	checks := map[string]int{
+		"sessions":     len(b.sessions),
+		"liveElem":     len(b.liveElem),
+		"live list":    b.live.Len(),
+		"byInstance":   len(b.byInstance[inst.ID()]),
+		"bound":        len(b.bound),
+		"pending":      len(b.pending),
+		"queued":       len(b.queued),
+		"retained":     len(b.retained),
+		"retainedByID": len(b.retainedByID),
+		"subs":         len(b.subs),
+	}
+	b.mu.Unlock()
+	for name, size := range checks {
+		if size > len(live)+64 {
+			t.Errorf("%s holds %d entries after churn, want <= live(%d)+retention(64)", name, size, len(live))
+		}
+	}
+	// SessionsOn walks only the instance's current sessions.
+	on := b.SessionsOn(inst.ID())
+	if len(on) != len(live) {
+		t.Fatalf("SessionsOn = %d, want %d", len(on), len(live))
+	}
+	if all := b.Sessions(); len(all) != len(live) {
+		t.Fatalf("Sessions = %d, want %d live", len(all), len(live))
+	}
+	if inst.Sessions() != len(live) {
+		t.Fatalf("instance slots = %d, want %d (no leaked slots)", inst.Sessions(), len(live))
+	}
+}
+
 func TestStateAndKindStrings(t *testing.T) {
 	for got, want := range map[string]string{
 		Pending.String():         "pending",

@@ -716,7 +716,9 @@ type InfraMetrics struct {
 	BootingInstances int     `json:"bootingInstances"`
 	ActiveSessions   int     `json:"activeSessions"`
 	PendingSessions  int     `json:"pendingSessions"`
-	ClosedSessions   int     `json:"closedSessions"`
+	// ClosedSessions counts every session ever closed (the broker only
+	// retains a bounded window of closed-session snapshots).
+	ClosedSessions int `json:"closedSessions"`
 	PublicCost       float64 `json:"publicCost"`
 	LBTicks          int     `json:"lbTicks"`
 	LBReplacements   int     `json:"lbReplacements"`
@@ -746,14 +748,13 @@ func (o *Observatory) Metrics() InfraMetrics {
 			m.PublicInstances++
 		}
 	}
+	m.ClosedSessions = o.Broker.ClosedTotal()
 	for _, s := range o.Broker.Sessions() {
 		switch s.State {
 		case broker.Active:
 			m.ActiveSessions++
 		case broker.Pending:
 			m.PendingSessions++
-		case broker.Closed:
-			m.ClosedSessions++
 		}
 	}
 	return m

@@ -124,6 +124,10 @@ type instanceTrack struct {
 type LB struct {
 	cfg Config
 
+	// tickMu serialises control-loop iterations; Stop acquires it after
+	// clearing running so no tick body is in flight once Stop returns.
+	tickMu sync.Mutex
+
 	mu       sync.Mutex
 	running  bool
 	stopTick func() bool
@@ -159,25 +163,44 @@ func (lb *LB) Start() {
 }
 
 func (lb *LB) armLocked() {
-	lb.stopTick = lb.cfg.Clock.AfterFunc(lb.cfg.Interval, func() {
-		lb.Tick()
-		lb.mu.Lock()
-		defer lb.mu.Unlock()
-		if lb.running {
-			lb.armLocked()
-		}
-	})
+	lb.stopTick = lb.cfg.Clock.AfterFunc(lb.cfg.Interval, lb.loopTick)
 }
 
-// Stop halts the control loop.
-func (lb *LB) Stop() {
+// loopTick is the timer callback: it runs one Tick and re-arms, but only
+// while the loop is running. A callback already in flight when Stop is
+// called finds running false and does nothing, so no management action
+// (or recorded event) can happen after Stop returns.
+func (lb *LB) loopTick() {
+	lb.tickMu.Lock()
+	defer lb.tickMu.Unlock()
+	lb.mu.Lock()
+	if !lb.running {
+		lb.mu.Unlock()
+		return
+	}
+	lb.mu.Unlock()
+	lb.Tick()
 	lb.mu.Lock()
 	defer lb.mu.Unlock()
+	if lb.running {
+		lb.armLocked()
+	}
+}
+
+// Stop halts the control loop. When it returns, no tick started by the
+// loop is still executing and none will start.
+func (lb *LB) Stop() {
+	lb.mu.Lock()
 	lb.running = false
 	if lb.stopTick != nil {
 		lb.stopTick()
 		lb.stopTick = nil
 	}
+	lb.mu.Unlock()
+	// Drain any in-flight loop tick before returning.
+	lb.tickMu.Lock()
+	//lint:ignore SA2001 empty critical section intentionally waits out an in-flight tick
+	lb.tickMu.Unlock()
 }
 
 // PlaceNow implements broker.Placer: the least-loaded running,

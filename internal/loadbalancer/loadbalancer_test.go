@@ -289,6 +289,35 @@ func TestStartStopLoop(t *testing.T) {
 	}
 }
 
+// TestStopGatesInFlightTick reproduces the Stop race deterministically: a
+// timer callback that was already in flight when Stop ran must not execute
+// the tick body, record events, or re-arm the loop.
+func TestStopGatesInFlightTick(t *testing.T) {
+	h := newHarness(t, 4, nil)
+	h.lb.Start()
+	h.lb.Stop()
+	ticks, events := h.lb.Ticks(), len(h.lb.Events())
+	// Invoke the timer callback directly, standing in for an AfterFunc
+	// that fired just before Stop cancelled the timer.
+	h.lb.loopTick()
+	if h.lb.Ticks() != ticks {
+		t.Fatalf("tick ran after Stop: %d -> %d", ticks, h.lb.Ticks())
+	}
+	if len(h.lb.Events()) != events {
+		t.Fatal("events recorded after Stop")
+	}
+	if h.clk.PendingTimers() != 0 {
+		t.Fatalf("loop re-armed after Stop: %d pending timers", h.clk.PendingTimers())
+	}
+	// The loop still restarts cleanly afterwards.
+	h.lb.Start()
+	h.clk.Advance(time.Minute)
+	if h.lb.Ticks() == ticks {
+		t.Fatal("loop did not tick after restart")
+	}
+	h.lb.Stop()
+}
+
 func TestEventsRecorded(t *testing.T) {
 	h := newHarness(t, 4, nil)
 	h.settle(1)

@@ -27,6 +27,8 @@ var (
 	ErrNotFound = errors.New("rest: resource not found")
 	// ErrConflict indicates a duplicate resource ID.
 	ErrConflict = errors.New("rest: resource already exists")
+	// ErrBadRequest indicates an invalid resource (missing ID or kind).
+	ErrBadRequest = errors.New("rest: invalid resource")
 )
 
 // Resource is any addressable asset in the observatory.
@@ -52,22 +54,30 @@ func NewStore() *Store {
 
 // Put inserts or replaces a resource.
 func (s *Store) Put(r Resource) error {
+	_, err := s.Upsert(r)
+	return err
+}
+
+// Upsert inserts or replaces a resource and reports whether it was newly
+// created (true) or replaced an existing one (false).
+func (s *Store) Upsert(r Resource) (created bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.putLocked(r)
 }
 
-func (s *Store) putLocked(r Resource) error {
+func (s *Store) putLocked(r Resource) (created bool, err error) {
 	if r.ID == "" || r.Kind == "" {
-		return fmt.Errorf("resource needs id and kind: %w", ErrNotFound)
+		return false, fmt.Errorf("resource needs id and kind: %w", ErrBadRequest)
 	}
 	kind, ok := s.items[r.Kind]
 	if !ok {
 		kind = make(map[string]Resource)
 		s.items[r.Kind] = kind
 	}
+	_, existed := kind[r.ID]
 	kind[r.ID] = r
-	return nil
+	return !existed, nil
 }
 
 // Create inserts a resource, failing on duplicates.
@@ -77,7 +87,8 @@ func (s *Store) Create(r Resource) error {
 	if _, exists := s.items[r.Kind][r.ID]; exists {
 		return fmt.Errorf("%s/%s: %w", r.Kind, r.ID, ErrConflict)
 	}
-	return s.putLocked(r)
+	_, err := s.putLocked(r)
+	return err
 }
 
 // Get fetches one resource.
@@ -144,6 +155,22 @@ func WriteError(w http.ResponseWriter, status int, msg string) {
 	WriteJSON(w, status, map[string]string{"error": msg})
 }
 
+// StatusFor maps the package's error sentinels to HTTP statuses:
+// validation failures are 400, unknown resources 404, duplicates 409;
+// anything else is a 500.
+func StatusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrConflict):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := strings.TrimPrefix(r.URL.Path, "/api/")
@@ -163,7 +190,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.Method == http.MethodGet:
 		res, err := h.store.Get(kind, id)
 		if err != nil {
-			WriteError(w, http.StatusNotFound, err.Error())
+			WriteError(w, StatusFor(err), err.Error())
 			return
 		}
 		WriteJSON(w, http.StatusOK, res)
@@ -174,18 +201,30 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		res.Kind, res.ID = kind, id
-		if err := h.store.Put(res); err != nil {
-			WriteError(w, http.StatusBadRequest, err.Error())
+		created, err := h.store.Upsert(res)
+		if err != nil {
+			WriteError(w, StatusFor(err), err.Error())
 			return
 		}
-		WriteJSON(w, http.StatusOK, res)
+		status := http.StatusOK
+		if created {
+			status = http.StatusCreated
+		}
+		WriteJSON(w, status, res)
 	case r.Method == http.MethodDelete && id != "":
 		if err := h.store.Delete(kind, id); err != nil {
-			WriteError(w, http.StatusNotFound, err.Error())
+			WriteError(w, StatusFor(err), err.Error())
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
 	default:
+		if id == "" {
+			w.Header().Set("Allow", http.MethodGet)
+		} else {
+			w.Header().Set("Allow", strings.Join([]string{
+				http.MethodGet, http.MethodPut, http.MethodDelete,
+			}, ", "))
+		}
 		WriteError(w, http.StatusMethodNotAllowed, r.Method+" not supported")
 	}
 }

@@ -41,8 +41,40 @@ func TestStoreCRUD(t *testing.T) {
 	if err := s.Delete("datasets", "eden-rain"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("double Delete err = %v", err)
 	}
-	if err := s.Put(Resource{Kind: "datasets"}); err == nil {
-		t.Fatal("Put without ID accepted")
+	if err := s.Put(Resource{Kind: "datasets"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Put without ID err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestStoreUpsertReportsCreation(t *testing.T) {
+	s := NewStore()
+	created, err := s.Upsert(Resource{ID: "rain", Kind: "datasets"})
+	if err != nil || !created {
+		t.Fatalf("first Upsert = %v, %v; want created", created, err)
+	}
+	created, err = s.Upsert(Resource{ID: "rain", Kind: "datasets"})
+	if err != nil || created {
+		t.Fatalf("second Upsert = %v, %v; want replace", created, err)
+	}
+	if _, err := s.Upsert(Resource{ID: "rain"}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("Upsert without kind err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestStatusFor(t *testing.T) {
+	tests := []struct {
+		err  error
+		want int
+	}{
+		{fmt.Errorf("x: %w", ErrBadRequest), http.StatusBadRequest},
+		{fmt.Errorf("x: %w", ErrNotFound), http.StatusNotFound},
+		{fmt.Errorf("x: %w", ErrConflict), http.StatusConflict},
+		{errors.New("boom"), http.StatusInternalServerError},
+	}
+	for _, tc := range tests {
+		if got := StatusFor(tc.err); got != tc.want {
+			t.Errorf("StatusFor(%v) = %d, want %d", tc.err, got, tc.want)
+		}
 	}
 }
 
@@ -80,8 +112,12 @@ func TestHandlerHTTP(t *testing.T) {
 	t.Cleanup(srv.Close)
 
 	code, _ := do(t, srv, http.MethodPut, "/api/datasets/rain", `{"attributes":{"unit":"mm"}}`)
+	if code != http.StatusCreated {
+		t.Fatalf("creating PUT status = %d, want 201", code)
+	}
+	code, _ = do(t, srv, http.MethodPut, "/api/datasets/rain", `{"attributes":{"unit":"mm"}}`)
 	if code != http.StatusOK {
-		t.Fatalf("PUT status = %d", code)
+		t.Fatalf("replacing PUT status = %d, want 200", code)
 	}
 	code, body := do(t, srv, http.MethodGet, "/api/datasets/rain", "")
 	if code != http.StatusOK || !strings.Contains(body, `"unit":"mm"`) {
@@ -118,6 +154,36 @@ func TestHandlerErrors(t *testing.T) {
 		code, _ := do(t, srv, tc.method, tc.path, tc.body)
 		if code != tc.want {
 			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, code, tc.want)
+		}
+	}
+}
+
+func TestHandler405CarriesAllowHeader(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewStore()))
+	t.Cleanup(srv.Close)
+	tests := []struct {
+		path      string
+		wantAllow string
+	}{
+		{"/api/datasets", "GET"},
+		{"/api/datasets/x", "GET, PUT, DELETE"},
+	}
+	for _, tc := range tests {
+		req, err := http.NewRequest(http.MethodPost, srv.URL+tc.path, strings.NewReader("{}"))
+		if err != nil {
+			t.Fatalf("NewRequest: %v", err)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatalf("Do: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s = %d, want 405", tc.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Allow"); got != tc.wantAllow {
+			t.Errorf("POST %s Allow = %q, want %q", tc.path, got, tc.wantAllow)
 		}
 	}
 }
