@@ -8,10 +8,13 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI tier: static analysis plus the race-enabled suite.
+# check is the CI tier: static analysis, the race-enabled suite, and a
+# one-iteration benchmark smoke pass (keeps the perf harness compiling
+# and running without timing anything).
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -20,12 +20,14 @@ import (
 	"evop/internal/clock"
 	"evop/internal/cloud"
 	"evop/internal/cloud/crosscloud"
+	"evop/internal/core"
 	"evop/internal/experiments"
 	"evop/internal/hydro"
 	"evop/internal/hydro/calibrate"
 	"evop/internal/hydro/fuse"
 	"evop/internal/hydro/topmodel"
 	"evop/internal/loadbalancer"
+	"evop/internal/runcache"
 	"evop/internal/timeseries"
 	"evop/internal/weather"
 )
@@ -111,8 +113,30 @@ func benchTI(b *testing.B) *catchment.TIDistribution {
 }
 
 // BenchmarkTOPMODELYear measures one 365-day hourly TOPMODEL simulation
-// (8760 steps x 30 TI classes).
+// (8760 steps x 30 TI classes) on the production fast path: a reusable
+// scratch, as the calibration sweep and any repeat caller run it.
+// Steady state is allocation-free.
 func BenchmarkTOPMODELYear(b *testing.B) {
+	ti := benchTI(b)
+	f := benchForcing(b, 365)
+	m, err := topmodel.New(topmodel.DefaultParams(), ti)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := m.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.RunInto(f, sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTOPMODELYearFresh measures the same simulation through the
+// allocating Run signature — the cost of a one-shot run with no scratch
+// to reuse.
+func BenchmarkTOPMODELYearFresh(b *testing.B) {
 	ti := benchTI(b)
 	f := benchForcing(b, 365)
 	m, err := topmodel.New(topmodel.DefaultParams(), ti)
@@ -200,6 +224,122 @@ func BenchmarkMonteCarlo100(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkMonteCarlo100Reuse is the same sweep with a ReuseFactory:
+// each worker reconfigures one model via SetParams instead of building a
+// fresh one per sample.
+func BenchmarkMonteCarlo100Reuse(b *testing.B) {
+	ti := benchTI(b)
+	f := benchForcing(b, 30)
+	truth, err := topmodel.New(topmodel.DefaultParams(), ti)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs, err := truth.Run(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := calibrate.MCConfig{
+		ReuseFactory: func(prev hydro.Model, vals []float64) (hydro.Model, error) {
+			p := topmodel.DefaultParams()
+			p.M, p.LnTe = vals[0], vals[1]
+			if tm, ok := prev.(*topmodel.Model); ok {
+				if err := tm.SetParams(p); err != nil {
+					return nil, err
+				}
+				return tm, nil
+			}
+			return topmodel.New(p, ti)
+		},
+		Ranges: []calibrate.Range{
+			{Name: "M", Lo: 5, Hi: 100},
+			{Name: "LnTe", Lo: 2, Hi: 8},
+		},
+		Forcing: f, Observed: obs, N: 100, Seed: 1,
+		KeepSimsAbove: math.Inf(1),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := calibrate.MonteCarlo(context.Background(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchObservatory builds an observatory with a short forcing record for
+// cache benchmarks.
+func benchObservatory(b *testing.B) *core.Observatory {
+	b.Helper()
+	cfg := core.DefaultConfig(clock.NewSimulated(benchStart))
+	cfg.ForcingDays = 30
+	o, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return o
+}
+
+// BenchmarkModelRunCacheMiss measures the cold path: every request is a
+// distinct key, so each op pays a full simulation plus cache insertion.
+func BenchmarkModelRunCacheMiss(b *testing.B) {
+	o := benchObservatory(b)
+	params := make([]topmodel.Params, 512)
+	for i := range params {
+		p := topmodel.DefaultParams()
+		p.M = 5 + float64(i)*0.13
+		params[i] = p
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := o.RunModelCached(core.RunRequest{
+			CatchmentID: "morland", Model: "topmodel",
+			TOPMODELParams: &params[i%len(params)],
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelRunCacheHit measures the warm path: repeated identical
+// requests served from the LRU without touching the model kernel.
+func BenchmarkModelRunCacheHit(b *testing.B) {
+	o := benchObservatory(b)
+	req := core.RunRequest{CatchmentID: "morland", Model: "topmodel"}
+	if _, _, err := o.RunModelCached(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, out, err := o.RunModelCached(req); err != nil || out != runcache.Hit {
+			b.Fatalf("outcome = %v err = %v", out, err)
+		}
+	}
+}
+
+// BenchmarkModelRunCacheCoalesced measures concurrent identical requests
+// racing through the singleflight path: RunParallel goroutines hammer one
+// key that is purged each iteration batch, so ops resolve as a mix of one
+// miss plus coalesced/hit shares.
+func BenchmarkModelRunCacheCoalesced(b *testing.B) {
+	o := benchObservatory(b)
+	req := core.RunRequest{CatchmentID: "morland", Model: "topmodel"}
+	if _, _, err := o.RunModelCached(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, err := o.RunModelCached(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkFlotEncode measures Flot JSON encoding of a 30-day hourly

@@ -5,3 +5,6 @@ set -eu
 cd "$(dirname "$0")"
 go vet ./...
 go test -race ./...
+# Benchmark smoke tier: every benchmark must still run (one iteration);
+# catches bit-rot in the perf harness without timing anything.
+go test -run='^$' -bench=. -benchtime=1x ./...

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"evop/internal/ogc/sos"
 	"evop/internal/ogc/wps"
 	"evop/internal/rest"
+	"evop/internal/runcache"
 	"evop/internal/scenario"
 	"evop/internal/sensor"
 	"evop/internal/timeseries"
@@ -61,6 +63,9 @@ type Config struct {
 	// ForcingDays is the length of the standard forcing record each
 	// catchment carries.
 	ForcingDays int
+	// RunCacheSize bounds the model-run result cache (entries); 0 uses
+	// a default, negative is invalid.
+	RunCacheSize int
 }
 
 // DefaultConfig returns a config suitable for experiments: a small
@@ -73,6 +78,7 @@ func DefaultConfig(clk clock.Clock) Config {
 		Flavor:          cloud.DefaultFlavor(),
 		LBInterval:      10 * time.Second,
 		ForcingDays:     120,
+		RunCacheSize:    256,
 	}
 }
 
@@ -91,6 +97,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("LB interval %v: %w", c.LBInterval, ErrBadConfig)
 	case c.ForcingDays < 2:
 		return fmt.Errorf("forcing days %d: %w", c.ForcingDays, ErrBadConfig)
+	case c.RunCacheSize < 0:
+		return fmt.Errorf("run cache size %d: %w", c.RunCacheSize, ErrBadConfig)
 	}
 	return nil
 }
@@ -123,12 +131,22 @@ type Observatory struct {
 	mu       sync.Mutex
 	forcings map[string]hydro.Forcing
 	uploads  map[string]*timeseries.Series
+
+	// runs caches and coalesces on-demand model runs: identical
+	// (catchment, scenario, model, params, dataset, storm window)
+	// requests cost one simulation. Cached RunResults are shared between
+	// callers and must be treated as immutable.
+	runs *runcache.Cache[*RunResult]
 }
 
 // New assembles an observatory over the three LEFT catchments.
 func New(cfg Config) (*Observatory, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	cacheSize := cfg.RunCacheSize
+	if cacheSize == 0 {
+		cacheSize = 256
 	}
 	o := &Observatory{
 		cfg:        cfg,
@@ -137,6 +155,7 @@ func New(cfg Config) (*Observatory, error) {
 		Assets:     rest.NewStore(),
 		forcings:   make(map[string]hydro.Forcing),
 		uploads:    make(map[string]*timeseries.Series),
+		runs:       runcache.New[*RunResult](cacheSize),
 	}
 
 	var err error
@@ -345,6 +364,9 @@ func (o *Observatory) UploadDataset(id string, s *timeseries.Series) error {
 	o.mu.Lock()
 	o.uploads[id] = s.Clone()
 	o.mu.Unlock()
+	// Re-uploading under an existing ID changes run inputs the cache key
+	// cannot see, so drop every cached run.
+	o.runs.Purge()
 	_ = o.Assets.Put(rest.Resource{ID: id, Kind: "datasets", Attributes: map[string]any{
 		"kind": "uploadedRainfall", "samples": s.Len(),
 		"start": s.Start().Format(time.RFC3339),
@@ -438,9 +460,42 @@ func (o *Observatory) DriestStormWindow(catchmentID string, windowDays int) (int
 	return bestStart, nil
 }
 
+// cacheKey renders every field that influences a run's output into a
+// deterministic string. Float fields print with %v (Go's shortest
+// round-tripping form), so distinct values yield distinct keys.
+func (r RunRequest) cacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "c=%s|s=%s|m=%s|d=%s|at=%d", r.CatchmentID, r.ScenarioID, r.Model, r.RainDatasetID, r.StormAtHours)
+	if r.TOPMODELParams != nil {
+		fmt.Fprintf(&b, "|p=%v", *r.TOPMODELParams)
+	}
+	if r.Storm != nil {
+		fmt.Fprintf(&b, "|storm=%v", *r.Storm)
+	}
+	return b.String()
+}
+
 // RunModel executes a model run on demand. This is the computation the
-// WPS processes and the portal's modelling widget invoke.
+// WPS processes and the portal's modelling widget invoke. Identical
+// requests are answered from a bounded LRU cache, and concurrent
+// duplicates coalesce onto a single simulation; the returned RunResult
+// is shared and must not be mutated.
 func (o *Observatory) RunModel(req RunRequest) (*RunResult, error) {
+	res, _, err := o.RunModelCached(req)
+	return res, err
+}
+
+// RunModelCached is RunModel, also reporting whether the result was
+// computed (miss), served from cache (hit) or shared with a concurrent
+// identical request (coalesced).
+func (o *Observatory) RunModelCached(req RunRequest) (*RunResult, runcache.Outcome, error) {
+	return o.runs.Do(req.cacheKey(), func() (*RunResult, error) {
+		return o.runModel(req)
+	})
+}
+
+// runModel is the uncached simulation behind RunModel.
+func (o *Observatory) runModel(req RunRequest) (*RunResult, error) {
 	c, ok := o.Catchments.Get(req.CatchmentID)
 	if !ok {
 		return nil, fmt.Errorf("catchment %q: %w", req.CatchmentID, ErrBadConfig)
@@ -711,20 +766,23 @@ func (p *modelProcess) Execute(inputs map[string]string) (map[string]string, err
 // monitoring view an operator (or the Admin UI the paper's team used)
 // watches.
 type InfraMetrics struct {
-	PrivateInstances int     `json:"privateInstances"`
-	PublicInstances  int     `json:"publicInstances"`
-	BootingInstances int     `json:"bootingInstances"`
-	ActiveSessions   int     `json:"activeSessions"`
-	PendingSessions  int     `json:"pendingSessions"`
+	PrivateInstances int `json:"privateInstances"`
+	PublicInstances  int `json:"publicInstances"`
+	BootingInstances int `json:"bootingInstances"`
+	ActiveSessions   int `json:"activeSessions"`
+	PendingSessions  int `json:"pendingSessions"`
 	// ClosedSessions counts every session ever closed (the broker only
 	// retains a bounded window of closed-session snapshots).
-	ClosedSessions int `json:"closedSessions"`
-	PublicCost       float64 `json:"publicCost"`
-	LBTicks          int     `json:"lbTicks"`
-	LBReplacements   int     `json:"lbReplacements"`
-	DroppedUpdates   int     `json:"droppedUpdates"`
-	Sensors          int     `json:"sensors"`
-	WorkflowRuns     int     `json:"workflowRuns"`
+	ClosedSessions int     `json:"closedSessions"`
+	PublicCost     float64 `json:"publicCost"`
+	LBTicks        int     `json:"lbTicks"`
+	LBReplacements int     `json:"lbReplacements"`
+	DroppedUpdates int     `json:"droppedUpdates"`
+	Sensors        int     `json:"sensors"`
+	WorkflowRuns   int     `json:"workflowRuns"`
+	// ModelRunCache reports the model-run cache's hit/miss/coalesced
+	// counters and current size.
+	ModelRunCache runcache.Stats `json:"modelRunCache"`
 }
 
 // Metrics returns the current operational snapshot.
@@ -736,6 +794,7 @@ func (o *Observatory) Metrics() InfraMetrics {
 		DroppedUpdates: o.Broker.DroppedUpdates(),
 		Sensors:        len(o.Network.Sensors()),
 		WorkflowRuns:   len(o.Workflows.Runs()),
+		ModelRunCache:  o.runs.Stats(),
 	}
 	for _, in := range o.Multi.Instances() {
 		if in.State() == cloud.StateBooting {

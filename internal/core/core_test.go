@@ -8,6 +8,7 @@ import (
 
 	"evop/internal/clock"
 	"evop/internal/hydro/topmodel"
+	"evop/internal/runcache"
 	"evop/internal/scenario"
 	"evop/internal/timeseries"
 	"evop/internal/weather"
@@ -510,5 +511,89 @@ func TestUploadDatasetValidation(t *testing.T) {
 	}
 	if _, err := o.RunModel(RunRequest{CatchmentID: "morland", Model: "topmodel", RainDatasetID: "far"}); err == nil {
 		t.Fatal("disjoint dataset accepted")
+	}
+}
+
+func TestRunModelCacheHitAndKeying(t *testing.T) {
+	o, _ := newObs(t)
+	req := RunRequest{CatchmentID: "morland", Model: "topmodel"}
+
+	r1, out, err := o.RunModelCached(req)
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if out != runcache.Miss {
+		t.Fatalf("first run outcome = %v, want miss", out)
+	}
+	r2, out, err := o.RunModelCached(req)
+	if err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if out != runcache.Hit {
+		t.Fatalf("second run outcome = %v, want hit", out)
+	}
+	if r1 != r2 {
+		t.Fatal("cache hit returned a different result pointer")
+	}
+	st := o.Metrics().ModelRunCache
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("cache stats = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+
+	// Any field that changes the simulation must change the key.
+	variants := []RunRequest{
+		{CatchmentID: "tarland", Model: "topmodel"},
+		{CatchmentID: "morland", Model: "fuse"},
+		{CatchmentID: "morland", Model: "topmodel", ScenarioID: scenario.Afforestation},
+		{CatchmentID: "morland", Model: "topmodel", Storm: &weather.DesignStorm{TotalDepthMM: 40, Duration: 6 * time.Hour, PeakFraction: 0.4}, StormAtHours: 48},
+	}
+	p := topmodel.DefaultParams()
+	p.M = p.M * 1.5
+	variants = append(variants, RunRequest{CatchmentID: "morland", Model: "topmodel", TOPMODELParams: &p})
+	for i, v := range variants {
+		if _, out, err := o.RunModelCached(v); err != nil || out != runcache.Miss {
+			t.Fatalf("variant %d: outcome = %v err = %v, want fresh miss", i, out, err)
+		}
+	}
+	// Errors are not cached: the same bad request keeps failing afresh.
+	bad := RunRequest{CatchmentID: "thames", Model: "topmodel"}
+	for i := 0; i < 2; i++ {
+		if _, out, err := o.RunModelCached(bad); err == nil || out != runcache.Miss {
+			t.Fatalf("bad request %d: outcome = %v err = %v", i, out, err)
+		}
+	}
+	if st := o.Metrics().ModelRunCache; st.Hits != 1 {
+		t.Fatalf("variant/error requests inflated hits: %+v", st)
+	}
+}
+
+func TestUploadDatasetPurgesRunCache(t *testing.T) {
+	o, _ := newObs(t)
+	vals := make([]float64, 14*24)
+	vals[50] = 8
+	rain := timeseries.MustNew(epochStart, time.Hour, vals)
+	if err := o.UploadDataset("gauge", rain); err != nil {
+		t.Fatalf("UploadDataset: %v", err)
+	}
+	req := RunRequest{CatchmentID: "morland", Model: "topmodel", RainDatasetID: "gauge"}
+	r1, _, err := o.RunModelCached(req)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Re-uploading under the same id changes inputs the cache key cannot
+	// see, so it must purge.
+	vals[200] = 25
+	if err := o.UploadDataset("gauge", timeseries.MustNew(epochStart, time.Hour, vals)); err != nil {
+		t.Fatalf("re-upload: %v", err)
+	}
+	r2, out, err := o.RunModelCached(req)
+	if err != nil {
+		t.Fatalf("rerun: %v", err)
+	}
+	if out != runcache.Miss {
+		t.Fatalf("post-upload outcome = %v, want miss (cache purged)", out)
+	}
+	if r2.PeakMM <= r1.PeakMM {
+		t.Fatalf("rerun peak %v not reflecting new burst (old %v)", r2.PeakMM, r1.PeakMM)
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math"
+	"sync"
 	"testing"
 	"time"
 
@@ -245,6 +246,63 @@ func TestMonteCarloDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+func TestMonteCarloDeterministicAcrossChunkSizes(t *testing.T) {
+	fx := newFixture(t)
+	ref, err := MonteCarlo(context.Background(), fx.config(60))
+	if err != nil {
+		t.Fatalf("MonteCarlo(ref): %v", err)
+	}
+	for _, chunk := range []int{1, 4, 17, 100} {
+		cfg := fx.config(60)
+		cfg.ChunkSize = chunk
+		cfg.Workers = 5
+		got, err := MonteCarlo(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("MonteCarlo(chunk=%d): %v", chunk, err)
+		}
+		for i := range ref.Runs {
+			if ref.Runs[i].Score != got.Runs[i].Score {
+				t.Fatalf("chunk=%d changed result at run %d: %v vs %v",
+					chunk, i, ref.Runs[i].Score, got.Runs[i].Score)
+			}
+		}
+	}
+}
+
+func TestMonteCarloReuseFactoryMatchesFactory(t *testing.T) {
+	fx := newFixture(t)
+	ref, err := MonteCarlo(context.Background(), fx.config(50))
+	if err != nil {
+		t.Fatalf("MonteCarlo(factory): %v", err)
+	}
+	cfg := fx.config(50)
+	cfg.Factory = nil
+	cfg.ReuseFactory = func(prev hydro.Model, vals []float64) (hydro.Model, error) {
+		p := topmodel.DefaultParams()
+		p.M = vals[0]
+		p.LnTe = vals[1]
+		if tm, ok := prev.(*topmodel.Model); ok {
+			if err := tm.SetParams(p); err != nil {
+				return nil, err
+			}
+			return tm, nil
+		}
+		return topmodel.New(p, fx.ti)
+	}
+	got, err := MonteCarlo(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("MonteCarlo(reuse): %v", err)
+	}
+	if ref.Best.Score != got.Best.Score {
+		t.Fatalf("reuse factory changed best: %v vs %v", ref.Best.Score, got.Best.Score)
+	}
+	for i := range ref.Runs {
+		if ref.Runs[i].Score != got.Runs[i].Score {
+			t.Fatalf("reuse factory changed run %d: %v vs %v", i, ref.Runs[i].Score, got.Runs[i].Score)
+		}
+	}
+}
+
 func TestMonteCarloKeepsSims(t *testing.T) {
 	fx := newFixture(t)
 	cfg := fx.config(100)
@@ -295,21 +353,44 @@ func TestMonteCarloConfigValidation(t *testing.T) {
 	}
 }
 
-func TestMonteCarloFactoryErrors(t *testing.T) {
+func TestMonteCarloAllRunsFailed(t *testing.T) {
 	fx := newFixture(t)
 	cfg := fx.config(10)
 	cfg.Factory = func(vals []float64) (hydro.Model, error) {
 		return nil, errors.New("boom")
 	}
+	// Every run failing must surface as a sentinel, not a garbage Best
+	// whose score is -Inf.
+	if _, err := MonteCarlo(context.Background(), cfg); !errors.Is(err, ErrAllRunsFailed) {
+		t.Fatalf("err = %v, want ErrAllRunsFailed", err)
+	}
+}
+
+func TestMonteCarloPartialFailuresStillReport(t *testing.T) {
+	fx := newFixture(t)
+	cfg := fx.config(10)
+	inner := cfg.Factory
+	var n int
+	var mu sync.Mutex
+	cfg.Factory = func(vals []float64) (hydro.Model, error) {
+		mu.Lock()
+		n++
+		fail := n%2 == 0
+		mu.Unlock()
+		if fail {
+			return nil, errors.New("boom")
+		}
+		return inner(vals)
+	}
 	res, err := MonteCarlo(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("MonteCarlo: %v", err)
 	}
-	if res.Failed != 10 {
-		t.Fatalf("failed = %d, want 10", res.Failed)
+	if res.Failed != 5 {
+		t.Fatalf("failed = %d, want 5", res.Failed)
 	}
-	if !math.IsInf(res.Best.Score, -1) {
-		t.Fatalf("best score = %v, want -Inf", res.Best.Score)
+	if res.Best.Err != nil || math.IsInf(res.Best.Score, -1) {
+		t.Fatalf("best = %+v, want a successful run", res.Best)
 	}
 }
 

@@ -2,6 +2,7 @@ package calibrate
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -43,14 +44,28 @@ func (r Range) Validate() error {
 	return nil
 }
 
+// ErrAllRunsFailed indicates every Monte Carlo sample errored, so there
+// is no best run to report.
+var ErrAllRunsFailed = errors.New("calibrate: all runs failed")
+
 // Factory builds a model from one parameter sample (values are positional,
 // matching the Ranges order).
 type Factory func(values []float64) (hydro.Model, error)
+
+// ReuseFactory builds or reconfigures a model for one parameter sample.
+// prev is the model the same worker used for its previous sample (nil on
+// the worker's first); implementations may reconfigure and return prev
+// (e.g. topmodel.Model.SetParams) instead of building a new model, which
+// removes the per-sample construction cost from large sweeps.
+type ReuseFactory func(prev hydro.Model, values []float64) (hydro.Model, error)
 
 // MCConfig configures a Monte Carlo calibration run.
 type MCConfig struct {
 	// Factory builds a model per sample.
 	Factory Factory
+	// ReuseFactory, when non-nil, is used instead of Factory and may
+	// recycle each worker's previous model.
+	ReuseFactory ReuseFactory
 	// Ranges define the sampled parameter space.
 	Ranges []Range
 	// Forcing drives every run.
@@ -65,6 +80,10 @@ type MCConfig struct {
 	Seed int64
 	// Workers caps parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// ChunkSize is the number of samples dispatched to a worker per
+	// channel send; 0 picks a size that amortises channel traffic over
+	// the sweep. Results are independent of the chunking.
+	ChunkSize int
 	// KeepSimsAbove retains the simulated series of runs scoring above
 	// this threshold for later GLUE analysis. Set to math.Inf(1) (the
 	// zero-config default via NewMCConfig) to retain none.
@@ -73,7 +92,7 @@ type MCConfig struct {
 
 // Validate checks the configuration.
 func (c *MCConfig) Validate() error {
-	if c.Factory == nil {
+	if c.Factory == nil && c.ReuseFactory == nil {
 		return fmt.Errorf("nil factory: %w", ErrBadConfig)
 	}
 	if len(c.Ranges) == 0 {
@@ -116,7 +135,13 @@ type MCResult struct {
 // MonteCarlo samples the parameter space, runs the model for each sample
 // across a worker pool, scores each run, and returns all scores sorted
 // best-first. It is deterministic for a given seed regardless of worker
-// count (samples are pre-drawn sequentially).
+// count and chunk size (samples are pre-drawn sequentially and results
+// written by index). Workers pull chunked index ranges rather than one
+// channel send per sample, and models implementing hydro.ScratchModel
+// run through per-worker scratch buffers, so a large sweep allocates
+// nothing per sample beyond the model build itself (which ReuseFactory
+// can eliminate too). It returns ErrAllRunsFailed if every sample
+// errored.
 func MonteCarlo(ctx context.Context, cfg MCConfig) (*MCResult, error) {
 	if cfg.Objective == nil {
 		cfg.Objective = NSE
@@ -131,6 +156,15 @@ func MonteCarlo(ctx context.Context, cfg MCConfig) (*MCResult, error) {
 	if workers > cfg.N {
 		workers = cfg.N
 	}
+	chunk := cfg.ChunkSize
+	if chunk <= 0 {
+		// Roughly eight chunks per worker keeps the pool balanced while
+		// cutting channel operations by orders of magnitude on big sweeps.
+		chunk = cfg.N / (workers * 8)
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
 
 	// Pre-draw all samples so results don't depend on scheduling.
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -144,22 +178,29 @@ func MonteCarlo(ctx context.Context, cfg MCConfig) (*MCResult, error) {
 	}
 
 	runs := make([]RunScore, cfg.N)
-	jobs := make(chan int)
+	jobs := make(chan [2]int, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				runs[i] = cfg.evaluate(samples[i])
+			st := &workerState{scratches: make(map[string]hydro.Scratch)}
+			for r := range jobs {
+				for i := r[0]; i < r[1]; i++ {
+					runs[i] = cfg.evaluate(samples[i], st)
+				}
 			}
 		}()
 	}
 	var ctxErr error
 feed:
-	for i := 0; i < cfg.N; i++ {
+	for lo := 0; lo < cfg.N; lo += chunk {
+		hi := lo + chunk
+		if hi > cfg.N {
+			hi = cfg.N
+		}
 		select {
-		case jobs <- i:
+		case jobs <- [2]int{lo, hi}:
 		case <-ctx.Done():
 			ctxErr = ctx.Err()
 			break feed
@@ -172,23 +213,56 @@ feed:
 	}
 
 	failed := 0
+	var firstErr error
 	for i := range runs {
 		if runs[i].Err != nil {
+			if firstErr == nil {
+				firstErr = runs[i].Err
+			}
 			failed++
 		}
+	}
+	if failed == cfg.N {
+		return nil, fmt.Errorf("%d/%d runs failed (first: %v): %w", failed, cfg.N, firstErr, ErrAllRunsFailed)
 	}
 	sort.SliceStable(runs, func(a, b int) bool { return runs[a].Score > runs[b].Score })
 	return &MCResult{Runs: runs, Best: runs[0], Failed: failed}, nil
 }
 
-func (c *MCConfig) evaluate(vals []float64) RunScore {
+// workerState is one worker goroutine's reusable machinery: the previous
+// model (for ReuseFactory) and one scratch buffer per model family.
+type workerState struct {
+	prev      hydro.Model
+	scratches map[string]hydro.Scratch
+}
+
+func (c *MCConfig) evaluate(vals []float64, st *workerState) RunScore {
 	rs := RunScore{Values: vals, Score: math.Inf(-1)}
-	model, err := c.Factory(vals)
+	var model hydro.Model
+	var err error
+	if c.ReuseFactory != nil {
+		model, err = c.ReuseFactory(st.prev, vals)
+	} else {
+		model, err = c.Factory(vals)
+	}
 	if err != nil {
 		rs.Err = fmt.Errorf("building model: %w", err)
 		return rs
 	}
-	sim, err := model.Run(c.Forcing)
+	st.prev = model
+	var sim *timeseries.Series
+	scratchBacked := false
+	if sm, ok := model.(hydro.ScratchModel); ok {
+		sc := st.scratches[sm.Name()]
+		if sc == nil {
+			sc = sm.NewScratch()
+			st.scratches[sm.Name()] = sc
+		}
+		sim, err = sm.RunInto(c.Forcing, sc)
+		scratchBacked = true
+	} else {
+		sim, err = model.Run(c.Forcing)
+	}
 	if err != nil {
 		rs.Err = fmt.Errorf("running model: %w", err)
 		return rs
@@ -200,7 +274,12 @@ func (c *MCConfig) evaluate(vals []float64) RunScore {
 	}
 	rs.Score = score
 	if score > c.KeepSimsAbove {
-		rs.Sim = sim
+		if scratchBacked {
+			// The scratch series is overwritten by the worker's next run.
+			rs.Sim = sim.Clone()
+		} else {
+			rs.Sim = sim
+		}
 	}
 	return rs
 }

@@ -38,14 +38,16 @@ func paired(obs, sim *timeseries.Series) ([]float64, []float64, error) {
 		return nil, nil, fmt.Errorf("obs(len=%d step=%v) vs sim(len=%d step=%v): %w",
 			obs.Len(), obs.Step(), sim.Len(), sim.Step(), ErrMismatch)
 	}
-	var o, s []float64
-	for i := 0; i < obs.Len(); i++ {
-		ov, sv := obs.At(i), sim.At(i)
-		if math.IsNaN(ov) || math.IsNaN(sv) {
+	n := obs.Len()
+	o := make([]float64, 0, n)
+	s := make([]float64, 0, n)
+	ov, sv := obs.Raw(), sim.Raw()
+	for i := 0; i < n; i++ {
+		if math.IsNaN(ov[i]) || math.IsNaN(sv[i]) {
 			continue
 		}
-		o = append(o, ov)
-		s = append(s, sv)
+		o = append(o, ov[i])
+		s = append(s, sv[i])
 	}
 	if len(o) == 0 {
 		return nil, nil, fmt.Errorf("no overlapping valid samples: %w", ErrMismatch)

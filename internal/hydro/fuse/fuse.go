@@ -220,6 +220,20 @@ type Model struct {
 }
 
 var _ hydro.Model = (*Model)(nil)
+var _ hydro.ScratchModel = (*Model)(nil)
+
+// ErrBadScratch indicates a scratch buffer that does not belong to this
+// model family was passed to RunInto.
+var ErrBadScratch = errors.New("fuse: foreign scratch buffer")
+
+// Scratch holds the reusable simulation buffers (generated runoff plus
+// the routed series) so repeated runs through RunInto allocate nothing
+// in steady state. The zero value is ready to use; a scratch must not be
+// shared between concurrent runs.
+type Scratch struct {
+	raw    *timeseries.Series
+	routed *timeseries.Series
+}
 
 // New builds a Model from decisions and parameters.
 func New(dec Decisions, params Params) (*Model, error) {
@@ -251,15 +265,36 @@ func (m *Model) Params() Params { return m.params }
 
 // Run implements hydro.Model.
 func (m *Model) Run(f hydro.Forcing) (*timeseries.Series, error) {
+	return m.runInto(f, &Scratch{})
+}
+
+// NewScratch implements hydro.ScratchModel.
+func (m *Model) NewScratch() hydro.Scratch { return &Scratch{} }
+
+// RunInto implements hydro.ScratchModel: an allocation-free Run. The
+// returned series aliases sc and is valid until sc's next run.
+func (m *Model) RunInto(f hydro.Forcing, sc hydro.Scratch) (*timeseries.Series, error) {
+	s, ok := sc.(*Scratch)
+	if !ok || s == nil {
+		return nil, fmt.Errorf("%T: %w", sc, ErrBadScratch)
+	}
+	return m.runInto(f, s)
+}
+
+func (m *Model) runInto(f hydro.Forcing, sc *Scratch) (*timeseries.Series, error) {
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
 	p := m.params
 	n := f.Len()
-	q, err := timeseries.Zeros(f.Rain.Start(), f.Rain.Step(), n)
+	q, err := timeseries.Renew(sc.raw, f.Rain.Start(), f.Rain.Step(), n)
 	if err != nil {
 		return nil, err
 	}
+	sc.raw = q
+	qv := q.Raw()
+	rainV := f.Rain.Raw()
+	petV := f.PET.Raw()
 
 	// States. For UpperSingle, uzTension carries the whole upper zone.
 	tensionMax := p.UZMax
@@ -273,8 +308,8 @@ func (m *Model) Run(f hydro.Forcing) (*timeseries.Series, error) {
 	lz := p.LZMax * 0.3
 
 	for t := 0; t < n; t++ {
-		rain := f.Rain.At(t)
-		pet := f.PET.At(t)
+		rain := rainV[t]
+		pet := petV[t]
 
 		// Saturated-area surface runoff (ARNO/VIC): the wetter the lower
 		// zone, the larger the contributing area.
@@ -339,13 +374,19 @@ func (m *Model) Run(f hydro.Forcing) (*timeseries.Series, error) {
 		}
 		lz -= qb
 
-		q.SetAt(t, qsx+qb)
+		qv[t] = qsx + qb
 	}
 
-	if m.uh != nil {
-		q = m.uh.Route(q)
+	if m.uh == nil {
+		return q, nil
 	}
-	return q, nil
+	routed, err := timeseries.Renew(sc.routed, f.Rain.Start(), f.Rain.Step(), n)
+	if err != nil {
+		return nil, err
+	}
+	sc.routed = routed
+	m.uh.RouteInto(qv, routed.Raw())
+	return routed, nil
 }
 
 func (m *Model) percolation(store, capacity float64) float64 {

@@ -79,6 +79,26 @@ type Model interface {
 	Run(f Forcing) (*timeseries.Series, error)
 }
 
+// Scratch is an opaque, model-specific reusable simulation buffer. A
+// scratch must not be shared between concurrently executing runs; give
+// each worker goroutine its own.
+type Scratch any
+
+// ScratchModel is implemented by models whose simulations can run into
+// caller-owned scratch buffers, eliminating steady-state allocations in
+// sweep workloads (Monte Carlo calibration, ensembles, request serving).
+// The series returned by RunInto aliases the scratch and is only valid
+// until the next RunInto with the same scratch; Clone it to retain.
+type ScratchModel interface {
+	Model
+	// NewScratch allocates an empty scratch accepted by this model's
+	// RunInto. The zero scratch grows lazily on first use.
+	NewScratch() Scratch
+	// RunInto simulates the forcing into sc. Results are bit-identical
+	// to Run.
+	RunInto(f Forcing, sc Scratch) (*timeseries.Series, error)
+}
+
 // DischargeM3S converts a discharge series from mm-per-step over a
 // catchment of areaKM2 to cubic metres per second.
 func DischargeM3S(q *timeseries.Series, areaKM2 float64) (*timeseries.Series, error) {
@@ -154,22 +174,31 @@ func GammaUH(shape, scaleSteps float64, n int) (*UnitHydrograph, error) {
 // the same time base; mass within the window is conserved (tail beyond the
 // series end is truncated).
 func (uh *UnitHydrograph) Route(in *timeseries.Series) *timeseries.Series {
-	out := in.Map(func(float64) float64 { return 0 })
-	n := in.Len()
+	buf := make([]float64, in.Len())
+	uh.RouteInto(in.Raw(), buf)
+	out, _ := timeseries.Wrap(in.Start(), in.Step(), buf) // step valid by construction
+	return out
+}
+
+// RouteInto convolves in with the unit hydrograph, accumulating into
+// out, which must be zeroed and the same length as in. It is the
+// allocation-free kernel behind Route.
+func (uh *UnitHydrograph) RouteInto(in, out []float64) {
+	n := len(in)
+	ord := uh.Ordinates
 	for i := 0; i < n; i++ {
-		v := in.At(i)
+		v := in[i]
 		if v == 0 {
 			continue
 		}
-		for k, w := range uh.Ordinates {
+		for k, w := range ord {
 			j := i + k
 			if j >= n {
 				break
 			}
-			out.SetAt(j, out.At(j)+v*w)
+			out[j] += v * w
 		}
 	}
-	return out
 }
 
 // MassBalance summarises a simulation's water accounting; all terms in mm.

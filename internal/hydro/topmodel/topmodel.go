@@ -87,6 +87,10 @@ func (p Params) Validate() error {
 	return nil
 }
 
+// ErrBadScratch indicates a scratch buffer that does not belong to this
+// model family was passed to RunInto.
+var ErrBadScratch = errors.New("topmodel: foreign scratch buffer")
+
 // Model is a configured TOPMODEL instance for one catchment.
 type Model struct {
 	params Params
@@ -95,6 +99,7 @@ type Model struct {
 }
 
 var _ hydro.Model = (*Model)(nil)
+var _ hydro.ScratchModel = (*Model)(nil)
 
 // New builds a Model from parameters and a topographic index
 // distribution.
@@ -121,6 +126,26 @@ func (m *Model) Name() string { return "topmodel" }
 // Params returns the model's parameter set.
 func (m *Model) Params() Params { return m.params }
 
+// SetParams revalidates and installs a new parameter set, keeping the
+// model's TI distribution and rebuilding the routing hydrograph only
+// when its shape changed. On error the model is unchanged. It exists so
+// calibration sweeps can reconfigure one model instead of building a
+// fresh one per sample.
+func (m *Model) SetParams(p Params) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.RoutePeakSteps != m.params.RoutePeakSteps || p.RouteBaseSteps != m.params.RouteBaseSteps {
+		uh, err := hydro.TriangularUH(p.RoutePeakSteps, p.RouteBaseSteps)
+		if err != nil {
+			return fmt.Errorf("building routing: %w", err)
+		}
+		m.uh = uh
+	}
+	m.params = p
+	return nil
+}
+
 // Output holds the full simulation products the LEFT widget visualises.
 type Output struct {
 	// Discharge is total routed streamflow, mm per step.
@@ -137,6 +162,19 @@ type Output struct {
 	Balance hydro.MassBalance
 }
 
+// Scratch holds every buffer a simulation needs — per-bin state, the
+// five output series and the routed discharge — so repeated runs through
+// RunDetailedInto allocate nothing in steady state. The zero value is
+// ready to use and grows lazily on first run; a scratch must not be
+// shared between concurrent runs.
+type Scratch struct {
+	suz []float64 // unsaturated storage per TI class
+	off []float64 // precomputed local-deficit offsets M*(lambda-Values[i])
+
+	qTotal, qBase, qOver, satFrac, aet, discharge *timeseries.Series
+	out                                           Output
+}
+
 // Run implements hydro.Model, returning routed discharge.
 func (m *Model) Run(f hydro.Forcing) (*timeseries.Series, error) {
 	out, err := m.RunDetailed(f)
@@ -146,8 +184,47 @@ func (m *Model) Run(f hydro.Forcing) (*timeseries.Series, error) {
 	return out.Discharge, nil
 }
 
+// NewScratch implements hydro.ScratchModel.
+func (m *Model) NewScratch() hydro.Scratch { return &Scratch{} }
+
+// RunInto implements hydro.ScratchModel: an allocation-free Run. The
+// returned discharge aliases sc and is valid until sc's next run.
+func (m *Model) RunInto(f hydro.Forcing, sc hydro.Scratch) (*timeseries.Series, error) {
+	s, ok := sc.(*Scratch)
+	if !ok || s == nil {
+		return nil, fmt.Errorf("%T: %w", sc, ErrBadScratch)
+	}
+	out, err := m.RunDetailedInto(f, s)
+	if err != nil {
+		return nil, err
+	}
+	return out.Discharge, nil
+}
+
 // RunDetailed simulates and returns all output components.
 func (m *Model) RunDetailed(f hydro.Forcing) (*Output, error) {
+	return m.RunDetailedInto(f, &Scratch{})
+}
+
+// renewFloats returns buf resized to n with every element zero, reusing
+// its backing array when capacity allows.
+func renewFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// RunDetailedInto is RunDetailed running in caller-owned scratch space:
+// in steady state (same forcing length run to run) it allocates nothing.
+// The returned Output and its series alias sc and are valid until sc's
+// next run; results are bit-identical to RunDetailed.
+func (m *Model) RunDetailedInto(f hydro.Forcing, sc *Scratch) (*Output, error) {
+	if sc == nil {
+		sc = &Scratch{}
+	}
 	if err := f.Validate(); err != nil {
 		return nil, err
 	}
@@ -155,6 +232,25 @@ func (m *Model) RunDetailed(f hydro.Forcing) (*Output, error) {
 	lambda := m.ti.Mean
 	nBins := len(m.ti.Values)
 	n := f.Len()
+	start, step := f.Rain.Start(), f.Rain.Step()
+
+	for _, series := range []**timeseries.Series{
+		&sc.qTotal, &sc.qBase, &sc.qOver, &sc.satFrac, &sc.aet, &sc.discharge,
+	} {
+		renewed, err := timeseries.Renew(*series, start, step, n)
+		if err != nil {
+			return nil, err
+		}
+		*series = renewed
+	}
+	qTotal := sc.qTotal.Raw()
+	qBase := sc.qBase.Raw()
+	qOver := sc.qOver.Raw()
+	satFrac := sc.satFrac.Raw()
+	aet := sc.aet.Raw()
+	rain := f.Rain.Raw()
+	pet := f.PET.Raw()
+	fractions := m.ti.Fractions
 
 	// SZQ is the subsurface flow at zero mean deficit.
 	szq := math.Exp(p.LnTe - lambda)
@@ -163,23 +259,20 @@ func (m *Model) RunDetailed(f hydro.Forcing) (*Output, error) {
 	if sbar < 0 {
 		sbar = 0
 	}
-	srz := p.SR0                  // root zone deficit
-	suz := make([]float64, nBins) // unsaturated storage per TI class
-
-	zeros := func() *timeseries.Series {
-		s, _ := timeseries.Zeros(f.Rain.Start(), f.Rain.Step(), n)
-		return s
+	srz := p.SR0 // root zone deficit
+	sc.suz = renewFloats(sc.suz, nBins)
+	sc.off = renewFloats(sc.off, nBins)
+	suz, off := sc.suz, sc.off
+	// The local-deficit offset of each TI class is constant for the whole
+	// run; hoist it out of the time loop (it was recomputed every step).
+	for i := 0; i < nBins; i++ {
+		off[i] = p.M * (lambda - m.ti.Values[i])
 	}
-	qTotal := zeros()
-	qBase := zeros()
-	qOver := zeros()
-	satFrac := zeros()
-	aet := zeros()
 
 	storage := func() float64 {
 		s := -sbar - srz
 		for i, u := range suz {
-			s += u * m.ti.Fractions[i]
+			s += u * fractions[i]
 		}
 		return s
 	}
@@ -187,20 +280,20 @@ func (m *Model) RunDetailed(f hydro.Forcing) (*Output, error) {
 
 	var rainIn, etOut, flowOut float64
 	for t := 0; t < n; t++ {
-		rain := f.Rain.At(t)
-		pet := f.PET.At(t)
-		rainIn += rain
+		rainT := rain[t]
+		petT := pet[t]
+		rainIn += rainT
 
 		// Root zone: rainfall first satisfies the root zone deficit.
-		fill := rain
+		fill := rainT
 		if fill > srz {
 			fill = srz
 		}
 		srz -= fill
-		excess := rain - fill
+		excess := rainT - fill
 
 		// Actual ET drawn from the root zone, reduced as it dries.
-		ea := pet * (1 - srz/p.SRMax)
+		ea := petT * (1 - srz/p.SRMax)
 		if ea < 0 {
 			ea = 0
 		}
@@ -209,7 +302,7 @@ func (m *Model) RunDetailed(f hydro.Forcing) (*Output, error) {
 		}
 		srz += ea
 		etOut += ea
-		aet.SetAt(t, ea)
+		aet[t] = ea
 
 		// Baseflow from the exponential saturated store.
 		qb := szq * math.Exp(-sbar/p.M)
@@ -218,12 +311,12 @@ func (m *Model) RunDetailed(f hydro.Forcing) (*Output, error) {
 		// recharge.
 		var qof, qv, sat float64
 		for i := 0; i < nBins; i++ {
-			frac := m.ti.Fractions[i]
+			frac := fractions[i]
 			if frac == 0 {
 				continue
 			}
 			// Local deficit for this index class.
-			si := sbar + p.M*(lambda-m.ti.Values[i])
+			si := sbar + off[i]
 			if si < 0 {
 				si = 0
 			}
@@ -257,10 +350,10 @@ func (m *Model) RunDetailed(f hydro.Forcing) (*Output, error) {
 			sbar = 0
 		}
 
-		qBase.SetAt(t, qb)
-		qOver.SetAt(t, qof)
-		satFrac.SetAt(t, sat)
-		qTotal.SetAt(t, qb+qof)
+		qBase[t] = qb
+		qOver[t] = qof
+		satFrac[t] = sat
+		qTotal[t] = qb + qof
 		flowOut += qb + qof
 	}
 
@@ -272,12 +365,14 @@ func (m *Model) RunDetailed(f hydro.Forcing) (*Output, error) {
 	}
 	balance.ClosureMM = balance.RainIn - balance.ETOut - balance.FlowOut - balance.StorageD
 
-	return &Output{
-		Discharge:   m.uh.Route(qTotal),
-		Baseflow:    qBase,
-		Overland:    qOver,
-		SatFraction: satFrac,
-		ActualET:    aet,
+	m.uh.RouteInto(qTotal, sc.discharge.Raw())
+	sc.out = Output{
+		Discharge:   sc.discharge,
+		Baseflow:    sc.qBase,
+		Overland:    sc.qOver,
+		SatFraction: sc.satFrac,
+		ActualET:    sc.aet,
 		Balance:     balance,
-	}, nil
+	}
+	return &sc.out, nil
 }

@@ -335,7 +335,9 @@ func (p *Portal) stormWindow(w http.ResponseWriter, r *http.Request) {
 
 // modelRun executes the LEFT modelling widget's request: a JSON
 // core.RunRequest in, the hydrograph and summary out (hydrograph in Flot
-// encoding, ready for the chart).
+// encoding, ready for the chart). Identical requests are served from the
+// observatory's model-run cache — the X-Cache response header reports
+// miss, hit or coalesced.
 func (p *Portal) modelRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
@@ -346,12 +348,13 @@ func (p *Portal) modelRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
 		return
 	}
-	res, err := p.obs.RunModel(req)
+	res, outcome, err := p.obs.RunModelCached(req)
 	if err != nil {
 		status := http.StatusBadRequest
 		writeJSON(w, status, map[string]string{"error": err.Error()})
 		return
 	}
+	w.Header().Set("X-Cache", outcome.String())
 	flot, err := res.Discharge.FlotJSON()
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})

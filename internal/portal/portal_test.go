@@ -2,10 +2,12 @@ package portal
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -605,5 +607,107 @@ func TestDatasetUploadOverHTTP(t *testing.T) {
 	code, _ = f.get(t, "/datasets/upload?id=x")
 	if code != http.StatusMethodNotAllowed {
 		t.Fatalf("GET upload = %d", code)
+	}
+}
+
+func TestModelRunWidgetCacheHeader(t *testing.T) {
+	f := newFixture(t)
+	body := `{"catchment":"morland","model":"topmodel"}`
+	post := func() (*http.Response, []byte) {
+		resp, err := http.Post(f.srv.URL+"/widgets/model/run", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp, b
+	}
+	resp, b := post()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first run = %d %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first X-Cache = %q, want miss", got)
+	}
+	resp, b = post()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second run = %d %s", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second X-Cache = %q, want hit", got)
+	}
+
+	// The metrics endpoint surfaces the cache counters.
+	code, mb := f.get(t, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+	var m struct {
+		ModelRunCache struct {
+			Hits   int64 `json:"hits"`
+			Misses int64 `json:"misses"`
+			Size   int   `json:"size"`
+		} `json:"modelRunCache"`
+	}
+	if err := json.Unmarshal(mb, &m); err != nil {
+		t.Fatalf("unmarshal metrics: %v", err)
+	}
+	if m.ModelRunCache.Hits < 1 || m.ModelRunCache.Misses < 1 || m.ModelRunCache.Size < 1 {
+		t.Fatalf("modelRunCache metrics = %+v, want >=1 hit/miss/size", m.ModelRunCache)
+	}
+}
+
+func TestModelRunWidgetCoalescesConcurrentRequests(t *testing.T) {
+	f := newFixture(t)
+	// A classroom of users pressing "run" on the same widget at once: every
+	// response must be complete and identical, and the cache must have
+	// computed the simulation once (the rest hit or coalesced).
+	const clients = 12
+	body := `{"catchment":"tarland","model":"fuse","scenario":"afforestation"}`
+	var wg sync.WaitGroup
+	bodies := make([][]byte, clients)
+	outcomes := make([]string, clients)
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(f.srv.URL+"/widgets/model/run", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			outcomes[i] = resp.Header.Get("X-Cache")
+			bodies[i], errs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < clients; i++ {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if len(bodies[i]) == 0 {
+			t.Fatalf("client %d: empty body", i)
+		}
+		if string(bodies[i]) != string(bodies[0]) {
+			t.Fatalf("client %d: response differs from client 0", i)
+		}
+		switch outcomes[i] {
+		case "miss", "hit", "coalesced":
+		default:
+			t.Fatalf("client %d: X-Cache = %q", i, outcomes[i])
+		}
+	}
+	st := f.obs.Metrics().ModelRunCache
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want exactly 1 simulation for %d identical requests", st.Misses, clients)
+	}
+	if st.Hits+st.Coalesced != clients-1 {
+		t.Fatalf("hits+coalesced = %d, want %d", st.Hits+st.Coalesced, clients-1)
 	}
 }

@@ -1,0 +1,196 @@
+// Package runcache provides the serving-side half of the model-execution
+// fast path: a bounded, LRU-evicted result cache with singleflight-style
+// request coalescing. The paper's streamlined execution bundles are
+// pre-computed model+data artifacts served cheaply to many users; this
+// cache is the in-process analogue — identical (catchment, scenario,
+// params, storm window) requests cost one simulation no matter how many
+// users press "run", and concurrent duplicates share a single in-flight
+// computation instead of stampeding the model kernel.
+//
+// Built on the standard library only (container/list + sync), it is
+// deliberately generic so other expensive observatory products (terrain
+// derivations, quality runs) can adopt it.
+package runcache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Outcome classifies how a Do call was satisfied.
+type Outcome int
+
+// Do outcomes.
+const (
+	// Miss means this call computed the value.
+	Miss Outcome = iota
+	// Hit means the value was already cached.
+	Hit
+	// Coalesced means the call piggybacked on another caller's
+	// in-flight computation of the same key.
+	Coalesced
+)
+
+// String renders the outcome for headers and logs.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	// Hits, Misses and Coalesced count Do outcomes.
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions int64 `json:"evictions"`
+	// Size is the current number of cached entries.
+	Size int `json:"size"`
+}
+
+// Cache is a bounded LRU cache with request coalescing. The zero value
+// is not usable; construct with New. All methods are safe for concurrent
+// use. Cached values are shared between callers — treat them as
+// immutable.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	byKey    map[string]*list.Element
+	inflight map[string]*flight[V]
+	gen      uint64 // bumped by Purge to drop stale in-flight results
+
+	hits, misses, coalesced, evictions int64
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New returns a cache holding at most capacity entries; capacities below
+// one are raised to one.
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		ll:       list.New(),
+		byKey:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight[V]),
+	}
+}
+
+// Do returns the cached value for key, or computes it with compute. At
+// most one compute runs per key at a time: concurrent callers of the
+// same key block and share the single computation's result (including
+// its error). Errors are returned but never cached, so a later call
+// retries.
+func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, Outcome, error) {
+	c.mu.Lock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		val := el.Value.(*entry[V]).val
+		c.mu.Unlock()
+		return val, Hit, nil
+	}
+	if fl, ok := c.inflight[key]; ok {
+		c.coalesced++
+		c.mu.Unlock()
+		<-fl.done
+		return fl.val, Coalesced, fl.err
+	}
+	fl := &flight[V]{done: make(chan struct{})}
+	c.inflight[key] = fl
+	c.misses++
+	gen := c.gen
+	c.mu.Unlock()
+
+	fl.val, fl.err = compute()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	// Discard results computed against state invalidated by Purge.
+	if fl.err == nil && gen == c.gen {
+		c.store(key, fl.val)
+	}
+	c.mu.Unlock()
+	close(fl.done)
+	return fl.val, Miss, fl.err
+}
+
+// Get returns the cached value without computing, refreshing its
+// recency on a hit. It does not touch the hit/miss counters.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// store inserts under c.mu, evicting from the LRU tail past capacity.
+func (c *Cache[V]) store(key string, val V) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*entry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&entry[V]{key: key, val: val})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*entry[V]).key)
+		c.evictions++
+	}
+}
+
+// Purge drops every cached entry and marks in-flight computations stale
+// so their results are returned to waiters but not stored. Counters are
+// preserved. Call it when an input outside the key space changes (e.g. a
+// dataset re-upload).
+func (c *Cache[V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.byKey)
+	c.gen++
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Coalesced: c.coalesced,
+		Evictions: c.evictions,
+		Size:      c.ll.Len(),
+	}
+}

@@ -1,0 +1,192 @@
+package runcache
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoMissThenHit(t *testing.T) {
+	c := New[int](4)
+	calls := 0
+	compute := func() (int, error) { calls++; return 42, nil }
+
+	v, out, err := c.Do("k", compute)
+	if err != nil || v != 42 || out != Miss {
+		t.Fatalf("first Do = %v %v %v, want 42 miss nil", v, out, err)
+	}
+	v, out, err = c.Do("k", compute)
+	if err != nil || v != 42 || out != Hit {
+		t.Fatalf("second Do = %v %v %v, want 42 hit nil", v, out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Coalesced != 0 || st.Size != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New[int](4)
+	boom := errors.New("boom")
+	calls := 0
+	if _, out, err := c.Do("k", func() (int, error) { calls++; return 0, boom }); !errors.Is(err, boom) || out != Miss {
+		t.Fatalf("Do = %v %v, want miss boom", out, err)
+	}
+	if _, _, err := c.Do("k", func() (int, error) { calls++; return 7, nil }); err != nil {
+		t.Fatalf("retry: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (error must not be cached)", calls)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](2)
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, _, err := c.Do(key, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("oldest entry survived past capacity")
+	}
+	for _, key := range []string{"k1", "k2"} {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("%s evicted, want retained", key)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats = %+v, want 1 eviction, size 2", st)
+	}
+}
+
+func TestLRURecencyOrder(t *testing.T) {
+	c := New[int](2)
+	_, _, _ = c.Do("a", func() (int, error) { return 1, nil })
+	_, _, _ = c.Do("b", func() (int, error) { return 2, nil })
+	// Touch a so b becomes the eviction candidate.
+	if _, out, _ := c.Do("a", nil); out != Hit {
+		t.Fatal("want hit for a")
+	}
+	_, _, _ = c.Do("c", func() (int, error) { return 3, nil })
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("least-recently-used entry b survived")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently-touched entry a evicted")
+	}
+}
+
+func TestCoalescing(t *testing.T) {
+	c := New[int](4)
+	const waiters = 8
+	var computes atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, waiters)
+	values := make([]int, waiters)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, out, err := c.Do("k", func() (int, error) {
+			computes.Add(1)
+			close(started)
+			<-release
+			return 99, nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		values[0], outcomes[0] = v, out
+	}()
+	<-started
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, out, err := c.Do("k", func() (int, error) {
+				computes.Add(1)
+				return -1, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			values[i], outcomes[i] = v, out
+		}()
+	}
+	// Wait until every duplicate is parked on the in-flight computation.
+	for c.Stats().Coalesced < waiters-1 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("compute ran %d times, want 1", got)
+	}
+	coalesced := 0
+	for i, out := range outcomes {
+		if values[i] != 99 {
+			t.Fatalf("waiter %d got %d, want 99", i, values[i])
+		}
+		if out == Coalesced {
+			coalesced++
+		}
+	}
+	if coalesced != waiters-1 {
+		t.Fatalf("coalesced = %d, want %d", coalesced, waiters-1)
+	}
+}
+
+func TestPurgeDropsEntriesAndStaleFlights(t *testing.T) {
+	c := New[int](4)
+	_, _, _ = c.Do("k", func() (int, error) { return 1, nil })
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// A second key is computing while Purge lands: its result must be
+		// returned to the caller but not stored (it may reflect pre-purge
+		// inputs).
+		v, _, err := c.Do("stale", func() (int, error) {
+			close(started)
+			<-release
+			return 7, nil
+		})
+		if err != nil || v != 7 {
+			t.Errorf("stale Do = %v %v", v, err)
+		}
+	}()
+	<-started
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after purge = %d", c.Len())
+	}
+	close(release)
+	<-done
+	if _, ok := c.Get("stale"); ok {
+		t.Fatal("result computed across a purge was cached")
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("purged entry still cached")
+	}
+}
+
+func TestCapacityFloor(t *testing.T) {
+	c := New[int](0)
+	_, _, _ = c.Do("a", func() (int, error) { return 1, nil })
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("capacity floor of one not applied")
+	}
+}

@@ -64,6 +64,36 @@ func Zeros(start time.Time, step time.Duration, n int) (*Series, error) {
 	return New(start, step, make([]float64, n))
 }
 
+// Wrap returns a Series taking ownership of values without copying. The
+// caller must not use the slice independently afterwards except through
+// Raw. It is the allocation-free counterpart of New for model kernels.
+func Wrap(start time.Time, step time.Duration, values []float64) (*Series, error) {
+	if step <= 0 {
+		return nil, ErrBadStep
+	}
+	return &Series{start: start.UTC(), step: step, values: values}, nil
+}
+
+// Renew returns a series with the given shape and every sample zero,
+// reusing s's backing storage when it has enough capacity; s may be nil.
+// It is the scratch-buffer primitive the model kernels use: in steady
+// state (same length run to run) it allocates nothing.
+func Renew(s *Series, start time.Time, step time.Duration, n int) (*Series, error) {
+	if step <= 0 {
+		return nil, ErrBadStep
+	}
+	if n < 0 {
+		return nil, ErrBadRange
+	}
+	if s == nil || cap(s.values) < n {
+		return &Series{start: start.UTC(), step: step, values: make([]float64, n)}, nil
+	}
+	s.start, s.step = start.UTC(), step
+	s.values = s.values[:n]
+	clear(s.values)
+	return s, nil
+}
+
 // Start returns the timestamp of the first sample.
 func (s *Series) Start() time.Time { return s.start }
 
@@ -89,6 +119,11 @@ func (s *Series) At(i int) float64 { return s.values[i] }
 
 // SetAt overwrites sample i.
 func (s *Series) SetAt(i int, v float64) { s.values[i] = v }
+
+// Raw returns the series' backing slice without copying; writes through
+// the slice are visible to the series. It is the kernels' escape hatch —
+// the slice is invalidated by Append or Renew on the same series.
+func (s *Series) Raw() []float64 { return s.values }
 
 // Values returns a copy of the sample values.
 func (s *Series) Values() []float64 {
