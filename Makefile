@@ -8,12 +8,13 @@ build:
 test:
 	$(GO) test ./...
 
-# check is the CI tier: static analysis, the race-enabled suite, and a
+# check is the CI tier: static analysis, the race-enabled suite (in a
+# shuffled order, to flush inter-test ordering dependencies), and a
 # one-iteration benchmark smoke pass (keeps the perf harness compiling
 # and running without timing anything).
 check:
 	$(GO) vet ./...
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
 bench:

@@ -4,7 +4,7 @@
 set -eu
 cd "$(dirname "$0")"
 go vet ./...
-go test -race ./...
+go test -race -shuffle=on ./...
 # Benchmark smoke tier: every benchmark must still run (one iteration);
 # catches bit-rot in the perf harness without timing anything.
 go test -run='^$' -bench=. -benchtime=1x ./...

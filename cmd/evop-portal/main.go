@@ -8,13 +8,19 @@
 //
 // The portal runs on the real clock: sensors sample live, the load
 // balancer ticks every few seconds, and model runs execute on demand.
+// SIGINT or SIGTERM triggers a graceful shutdown: the listener closes,
+// in-flight requests complete, and async WPS executions drain before
+// the process exits.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"evop"
@@ -53,6 +59,10 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("building portal: %w", err)
 	}
+	p.SetLogger(log.New(os.Stderr, "", log.LstdFlags))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	fmt.Printf("EVOp portal listening on %s\n", *addr)
 	fmt.Println("  map layer:   GET  /map/layers?catchment=morland")
@@ -64,5 +74,5 @@ func run() error {
 	fmt.Println("  WPS:         GET  /wps?service=WPS&request=GetCapabilities")
 	fmt.Println("  SOS:         GET  /sos?service=SOS&request=GetCapabilities")
 	fmt.Println("  sessions:    WS   /ws/session?user=you&service=topmodel")
-	return p.ListenAndServe(*addr)
+	return p.ListenAndServeContext(ctx, *addr)
 }

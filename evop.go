@@ -38,6 +38,15 @@
 //	p, err := evop.NewPortal(obs)
 //	http.ListenAndServe(":8080", p)
 //
+// or, for graceful shutdown on ctx cancellation (in-flight requests
+// finish, async WPS executions drain, background loops stop):
+//
+//	p.ListenAndServeContext(ctx, ":8080")
+//
+// Model runs are cancellable: RunModelContext and friends stop promptly
+// when the caller's context ends, and the portal passes each request's
+// context through, so a disconnected browser stops burning CPU.
+//
 // The deeper building blocks (the TOPMODEL engine, the calibration
 // toolkit, the cloud simulation, the WebSocket implementation) live in
 // internal packages and are re-exported here only where a downstream user

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -46,6 +47,11 @@ var (
 	ErrBadConfig = errors.New("core: invalid configuration")
 	// ErrUnknownModel indicates an unsupported model name.
 	ErrUnknownModel = errors.New("core: unknown model")
+	// ErrUnknownCatchment indicates a request naming a catchment the
+	// registry does not hold. It wraps ErrBadConfig so existing
+	// errors.Is(err, ErrBadConfig) checks keep matching, while letting
+	// HTTP layers distinguish "no such resource" from "bad parameters".
+	ErrUnknownCatchment = fmt.Errorf("core: unknown catchment (%w)", ErrBadConfig)
 )
 
 // Config parameterises the observatory.
@@ -131,6 +137,11 @@ type Observatory struct {
 	mu       sync.Mutex
 	forcings map[string]hydro.Forcing
 	uploads  map[string]*timeseries.Series
+	// runHook, when set, runs at the start of every uncached model
+	// simulation (after request validation, before the kernel). Tests use
+	// it to inject latency or block until cancellation so
+	// request-abandonment behaviour is observable.
+	runHook func(ctx context.Context, req RunRequest) error
 
 	// runs caches and coalesces on-demand model runs: identical
 	// (catchment, scenario, model, params, dataset, storm window)
@@ -307,6 +318,30 @@ func (o *Observatory) Stop() {
 	o.WPS.Wait()
 }
 
+// Shutdown gracefully stops the observatory: it waits, bounded by ctx,
+// for in-flight async WPS executions to drain, cancels any that remain,
+// then halts the background loops. The returned error is non-nil when
+// executions had to be canceled rather than drained.
+func (o *Observatory) Shutdown(ctx context.Context) error {
+	err := o.WPS.Drain(ctx)
+	if err != nil {
+		// Remaining executions are canceled; they fail fast and release
+		// the wait group, so the final Wait in Stop cannot hang.
+		o.WPS.Close()
+	}
+	o.Stop()
+	return err
+}
+
+// SetRunHook installs a hook invoked at the start of every uncached model
+// simulation; a nil fn clears it. This is a test seam — production code
+// must leave it unset.
+func (o *Observatory) SetRunHook(fn func(ctx context.Context, req RunRequest) error) {
+	o.mu.Lock()
+	o.runHook = fn
+	o.mu.Unlock()
+}
+
 // Forcing returns the catchment's standard forcing record (hourly rain +
 // Oudin PET over ForcingDays), generated deterministically from the
 // catchment's climate seed and cached.
@@ -318,7 +353,7 @@ func (o *Observatory) Forcing(catchmentID string) (hydro.Forcing, error) {
 	}
 	c, ok := o.Catchments.Get(catchmentID)
 	if !ok {
-		return hydro.Forcing{}, fmt.Errorf("catchment %q: %w", catchmentID, ErrBadConfig)
+		return hydro.Forcing{}, fmt.Errorf("catchment %q: %w", catchmentID, ErrUnknownCatchment)
 	}
 	gen, err := weather.NewGenerator(weather.UKUplandClimate(), c.ClimateSeed)
 	if err != nil {
@@ -436,6 +471,13 @@ type RunResult struct {
 // land-use effects (on saturated ground all scenarios converge because
 // runoff approaches rainfall).
 func (o *Observatory) DriestStormWindow(catchmentID string, windowDays int) (int, error) {
+	return o.DriestStormWindowContext(context.Background(), catchmentID, windowDays)
+}
+
+// DriestStormWindowContext is DriestStormWindow honouring cancellation:
+// the scan over candidate placements checks ctx periodically, so an
+// abandoned request stops burning CPU on a long forcing record.
+func (o *Observatory) DriestStormWindowContext(ctx context.Context, catchmentID string, windowDays int) (int, error) {
 	if windowDays < 1 {
 		return 0, fmt.Errorf("windowDays %d: %w", windowDays, ErrBadConfig)
 	}
@@ -448,7 +490,12 @@ func (o *Observatory) DriestStormWindow(catchmentID string, windowDays int) (int
 		return 0, fmt.Errorf("forcing record too short for %d-day window: %w", windowDays, ErrBadConfig)
 	}
 	bestStart, bestSum := window, math.Inf(1)
-	for start := window; start+48 < f.Rain.Len(); start += 24 {
+	for start, iter := window, 0; start+48 < f.Rain.Len(); start, iter = start+24, iter+1 {
+		if iter%32 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, fmt.Errorf("storm window scan canceled: %w", err)
+			}
+		}
 		sum := 0.0
 		for i := start - window; i < start; i++ {
 			sum += f.Rain.At(i)
@@ -481,24 +528,38 @@ func (r RunRequest) cacheKey() string {
 // duplicates coalesce onto a single simulation; the returned RunResult
 // is shared and must not be mutated.
 func (o *Observatory) RunModel(req RunRequest) (*RunResult, error) {
-	res, _, err := o.RunModelCached(req)
+	return o.RunModelContext(context.Background(), req)
+}
+
+// RunModelContext is RunModel under a caller context: a canceled caller
+// stops waiting immediately, and the underlying simulation is abandoned
+// only once every coalesced waiter has gone.
+func (o *Observatory) RunModelContext(ctx context.Context, req RunRequest) (*RunResult, error) {
+	res, _, err := o.RunModelCachedContext(ctx, req)
 	return res, err
 }
 
 // RunModelCached is RunModel, also reporting whether the result was
-// computed (miss), served from cache (hit) or shared with a concurrent
-// identical request (coalesced).
+// computed (miss), served from cache (hit), shared with a concurrent
+// identical request (coalesced) or abandoned (canceled).
 func (o *Observatory) RunModelCached(req RunRequest) (*RunResult, runcache.Outcome, error) {
-	return o.runs.Do(req.cacheKey(), func() (*RunResult, error) {
-		return o.runModel(req)
+	return o.RunModelCachedContext(context.Background(), req)
+}
+
+// RunModelCachedContext is RunModelCached under a caller context.
+func (o *Observatory) RunModelCachedContext(ctx context.Context, req RunRequest) (*RunResult, runcache.Outcome, error) {
+	return o.runs.Do(ctx, req.cacheKey(), func(ctx context.Context) (*RunResult, error) {
+		return o.runModel(ctx, req)
 	})
 }
 
-// runModel is the uncached simulation behind RunModel.
-func (o *Observatory) runModel(req RunRequest) (*RunResult, error) {
+// runModel is the uncached simulation behind RunModel. Its ctx is the
+// flight's: detached from any single requester and canceled only when no
+// requester remains interested.
+func (o *Observatory) runModel(ctx context.Context, req RunRequest) (*RunResult, error) {
 	c, ok := o.Catchments.Get(req.CatchmentID)
 	if !ok {
-		return nil, fmt.Errorf("catchment %q: %w", req.CatchmentID, ErrBadConfig)
+		return nil, fmt.Errorf("catchment %q: %w", req.CatchmentID, ErrUnknownCatchment)
 	}
 	scnID := req.ScenarioID
 	if scnID == "" {
@@ -534,6 +595,21 @@ func (o *Observatory) runModel(req RunRequest) (*RunResult, error) {
 		forcing = hydro.Forcing{Rain: rain, PET: forcing.PET}
 	}
 
+	// Inputs are resolved and validated; from here on the work is pure
+	// simulation. Honour an abandonment that happened while resolving, and
+	// give the test seam its chance to slow the kernel down.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("model run canceled: %w", err)
+	}
+	o.mu.Lock()
+	hook := o.runHook
+	o.mu.Unlock()
+	if hook != nil {
+		if err := hook(ctx, req); err != nil {
+			return nil, err
+		}
+	}
+
 	var q *timeseries.Series
 	switch req.Model {
 	case "topmodel":
@@ -561,7 +637,7 @@ func (o *Observatory) runModel(req RunRequest) (*RunResult, error) {
 			{Upper: fuse.UpperTensionFree, Perc: fuse.PercWaterContent, Base: fuse.BasePower, Routing: fuse.RouteGammaUH},
 			{Upper: fuse.UpperTensionFree, Perc: fuse.PercFieldCap, Base: fuse.BaseParallel, Routing: fuse.RouteGammaUH},
 		}
-		ens, err := fuse.RunEnsemble(decs, params, forcing)
+		ens, err := fuse.RunEnsembleContext(ctx, decs, params, forcing)
 		if err != nil {
 			return nil, err
 		}
@@ -623,9 +699,15 @@ type QualityResult struct {
 // the hydrology under a scenario, export sediment and nutrients, and
 // compare with baseline land use.
 func (o *Observatory) RunQuality(catchmentID, scenarioID string) (*QualityResult, error) {
+	return o.RunQualityContext(context.Background(), catchmentID, scenarioID)
+}
+
+// RunQualityContext is RunQuality under a caller context; the baseline
+// and scenario model runs each honour cancellation.
+func (o *Observatory) RunQualityContext(ctx context.Context, catchmentID, scenarioID string) (*QualityResult, error) {
 	c, ok := o.Catchments.Get(catchmentID)
 	if !ok {
-		return nil, fmt.Errorf("catchment %q: %w", catchmentID, ErrBadConfig)
+		return nil, fmt.Errorf("catchment %q: %w", catchmentID, ErrUnknownCatchment)
 	}
 	if scenarioID == "" {
 		scenarioID = scenario.Baseline
@@ -635,7 +717,7 @@ func (o *Observatory) RunQuality(catchmentID, scenarioID string) (*QualityResult
 		return nil, err
 	}
 	loadsFor := func(sc scenario.Scenario) (quality.Loads, error) {
-		run, err := o.RunModel(RunRequest{
+		run, err := o.RunModelContext(ctx, RunRequest{
 			CatchmentID: catchmentID, Model: "topmodel", ScenarioID: sc.ID,
 		})
 		if err != nil {
@@ -717,7 +799,7 @@ func (p *modelProcess) Outputs() []wps.ParamDesc {
 	}
 }
 
-func (p *modelProcess) Execute(inputs map[string]string) (map[string]string, error) {
+func (p *modelProcess) Execute(ctx context.Context, inputs map[string]string) (map[string]string, error) {
 	req := RunRequest{
 		CatchmentID: inputs["catchment"],
 		ScenarioID:  inputs["scenario"],
@@ -747,7 +829,7 @@ func (p *modelProcess) Execute(inputs map[string]string) (map[string]string, err
 			}
 		}
 	}
-	res, err := p.obs.RunModel(req)
+	res, err := p.obs.RunModelContext(ctx, req)
 	if err != nil {
 		return nil, err
 	}
@@ -831,6 +913,12 @@ type LowFlowResult struct {
 // cites droughts alongside floods): flow-duration quantiles, baseflow
 // index and sub-Q90 drought spells under a land-use scenario.
 func (o *Observatory) RunLowFlow(catchmentID, scenarioID string) (*LowFlowResult, error) {
+	return o.RunLowFlowContext(context.Background(), catchmentID, scenarioID)
+}
+
+// RunLowFlowContext is RunLowFlow under a caller context; the baseline
+// and scenario model runs each honour cancellation.
+func (o *Observatory) RunLowFlowContext(ctx context.Context, catchmentID, scenarioID string) (*LowFlowResult, error) {
 	if scenarioID == "" {
 		scenarioID = scenario.Baseline
 	}
@@ -838,7 +926,7 @@ func (o *Observatory) RunLowFlow(catchmentID, scenarioID string) (*LowFlowResult
 		return nil, err
 	}
 	analyseFor := func(sc string) (lowflow.Summary, error) {
-		run, err := o.RunModel(RunRequest{CatchmentID: catchmentID, Model: "topmodel", ScenarioID: sc})
+		run, err := o.RunModelContext(ctx, RunRequest{CatchmentID: catchmentID, Model: "topmodel", ScenarioID: sc})
 		if err != nil {
 			return lowflow.Summary{}, err
 		}
@@ -864,7 +952,7 @@ func (o *Observatory) RunLowFlow(catchmentID, scenarioID string) (*LowFlowResult
 
 // hydroStatsProcess summarises a Flot-encoded hydrograph — the generic
 // post-processing node workflow compositions chain after a model run.
-func hydroStatsProcess(inputs map[string]string) (map[string]string, error) {
+func hydroStatsProcess(_ context.Context, inputs map[string]string) (map[string]string, error) {
 	raw := inputs["hydrograph"]
 	if raw == "" {
 		return nil, fmt.Errorf("hydrostats: missing hydrograph input")

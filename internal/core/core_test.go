@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -240,7 +242,7 @@ func TestRunModelErrors(t *testing.T) {
 func TestWPSProcessExecutes(t *testing.T) {
 	o, _ := newObs(t)
 	p := &modelProcess{obs: o, model: "topmodel"}
-	out, err := p.Execute(map[string]string{
+	out, err := p.Execute(context.Background(), map[string]string{
 		"catchment": "morland", "scenario": "compaction",
 		"stormDepthMm": "50", "stormHours": "6", "stormAtHours": "240",
 	})
@@ -265,7 +267,7 @@ func TestWPSProcessInputErrors(t *testing.T) {
 		{"catchment": "ghost"},
 	}
 	for i, inputs := range bad {
-		if _, err := p.Execute(inputs); err == nil {
+		if _, err := p.Execute(context.Background(), inputs); err == nil {
 			t.Fatalf("case %d: want error", i)
 		}
 	}
@@ -595,5 +597,99 @@ func TestUploadDatasetPurgesRunCache(t *testing.T) {
 	}
 	if r2.PeakMM <= r1.PeakMM {
 		t.Fatalf("rerun peak %v not reflecting new burst (old %v)", r2.PeakMM, r1.PeakMM)
+	}
+}
+
+func TestRunModelDeadContextNeverSimulates(t *testing.T) {
+	o, _ := newObs(t)
+	var entered atomic.Bool
+	o.SetRunHook(func(context.Context, RunRequest) error {
+		entered.Store(true)
+		return nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, out, err := o.RunModelCachedContext(ctx, RunRequest{CatchmentID: "morland", Model: "topmodel"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if out != runcache.Canceled {
+		t.Fatalf("outcome = %v, want canceled", out)
+	}
+	if entered.Load() {
+		t.Fatal("simulation ran under a dead context")
+	}
+}
+
+func TestRunModelCancellationAbandonsSimulation(t *testing.T) {
+	o, _ := newObs(t)
+	entered := make(chan struct{})
+	flightDone := make(chan error, 1)
+	o.SetRunHook(func(ctx context.Context, _ RunRequest) error {
+		close(entered)
+		<-ctx.Done()
+		flightDone <- ctx.Err()
+		return ctx.Err()
+	})
+	req := RunRequest{CatchmentID: "morland", Model: "topmodel"}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := o.RunModelContext(ctx, req)
+		errCh <- err
+	}()
+	<-entered
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunModelContext err = %v, want context.Canceled", err)
+	}
+	// With the sole requester gone, the flight's context must cancel so
+	// the simulation stops consuming CPU.
+	select {
+	case err := <-flightDone:
+		if err == nil {
+			t.Fatal("flight context not canceled")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("simulation kept running after its only requester left")
+	}
+	// The abandoned flight must not poison the key: a fresh request
+	// recomputes and succeeds.
+	o.SetRunHook(nil)
+	res, out, err := o.RunModelCachedContext(context.Background(), req)
+	if err != nil || res == nil {
+		t.Fatalf("rerun after abandonment: %v", err)
+	}
+	if out != runcache.Miss {
+		t.Fatalf("rerun outcome = %v, want miss", out)
+	}
+}
+
+func TestRunQualityContextCanceled(t *testing.T) {
+	o, _ := newObs(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := o.RunQualityContext(ctx, "morland", "compaction"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunQualityContext err = %v, want context.Canceled", err)
+	}
+	if _, err := o.RunLowFlowContext(ctx, "morland", "compaction"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunLowFlowContext err = %v, want context.Canceled", err)
+	}
+	if _, err := o.DriestStormWindowContext(ctx, "morland", 7); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DriestStormWindowContext err = %v, want context.Canceled", err)
+	}
+}
+
+func TestUnknownCatchmentSentinel(t *testing.T) {
+	o, _ := newObs(t)
+	if _, err := o.RunModel(RunRequest{CatchmentID: "ghost", Model: "topmodel"}); !errors.Is(err, ErrUnknownCatchment) {
+		t.Fatalf("RunModel ghost err = %v, want ErrUnknownCatchment", err)
+	}
+	// The sentinel must keep matching ErrBadConfig for existing callers.
+	if _, err := o.Forcing("ghost"); !errors.Is(err, ErrBadConfig) || !errors.Is(err, ErrUnknownCatchment) {
+		t.Fatalf("Forcing ghost err = %v, want both sentinels", err)
+	}
+	if _, err := o.RunQuality("ghost", ""); !errors.Is(err, ErrUnknownCatchment) {
+		t.Fatalf("RunQuality ghost err = %v, want ErrUnknownCatchment", err)
 	}
 }

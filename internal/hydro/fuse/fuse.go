@@ -18,6 +18,7 @@
 package fuse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -439,12 +440,23 @@ type EnsembleResult struct {
 // RunEnsemble runs one Model per decision set with shared parameters and
 // aggregates the results.
 func RunEnsemble(decs []Decisions, params Params, f hydro.Forcing) (*EnsembleResult, error) {
+	return RunEnsembleContext(context.Background(), decs, params, f)
+}
+
+// RunEnsembleContext is RunEnsemble with a cancellation check between
+// ensemble members: each member is a full simulation, so the boundary
+// between members is where abandoning a canceled request saves real work
+// without threading a context through the inner kernel.
+func RunEnsembleContext(ctx context.Context, decs []Decisions, params Params, f hydro.Forcing) (*EnsembleResult, error) {
 	if len(decs) == 0 {
 		return nil, fmt.Errorf("no decisions: %w", ErrBadDecision)
 	}
 	res := &EnsembleResult{Members: make(map[string]*timeseries.Series, len(decs))}
 	var sum *timeseries.Series
 	for _, d := range decs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("ensemble canceled before %v: %w", d, err)
+		}
 		m, err := New(d, params)
 		if err != nil {
 			return nil, fmt.Errorf("building %v: %w", d, err)

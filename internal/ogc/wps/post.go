@@ -57,5 +57,5 @@ func (s *Service) servePost(w http.ResponseWriter, r *http.Request) {
 		writeException(w, http.StatusBadRequest, "InvalidParameterValue", err.Error())
 		return
 	}
-	s.executeParsed(w, id, inputs, async)
+	s.executeParsed(w, r.Context(), id, inputs, async)
 }

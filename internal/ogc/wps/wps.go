@@ -18,6 +18,7 @@
 package wps
 
 import (
+	"context"
 	"encoding/xml"
 	"errors"
 	"fmt"
@@ -66,8 +67,11 @@ type Process interface {
 	Inputs() []ParamDesc
 	// Outputs describes produced outputs.
 	Outputs() []ParamDesc
-	// Execute runs the process.
-	Execute(inputs map[string]string) (map[string]string, error)
+	// Execute runs the process. Long-running processes should observe ctx
+	// and stop early when it ends: synchronous executions receive the HTTP
+	// request's context (cancelled when the client disconnects),
+	// asynchronous executions the service's lifecycle context.
+	Execute(ctx context.Context, inputs map[string]string) (map[string]string, error)
 }
 
 // Status is an asynchronous execution state.
@@ -110,6 +114,11 @@ type execution struct {
 type Service struct {
 	title string
 
+	// execCtx scopes asynchronous executions to the service's lifetime:
+	// Close cancels it, and ctx-observing processes stop promptly.
+	execCtx    context.Context
+	execCancel context.CancelFunc
+
 	mu        sync.RWMutex
 	processes map[string]Process
 	order     []string
@@ -122,10 +131,13 @@ var _ http.Handler = (*Service)(nil)
 
 // NewService returns an empty WPS service with the given title.
 func NewService(title string) *Service {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Service{
-		title:     title,
-		processes: make(map[string]Process),
-		execs:     make(map[string]*execution),
+		title:      title,
+		execCtx:    ctx,
+		execCancel: cancel,
+		processes:  make(map[string]Process),
+		execs:      make(map[string]*execution),
 	}
 }
 
@@ -159,6 +171,41 @@ func (s *Service) Processes() []string {
 // tests and graceful shutdown.
 func (s *Service) Wait() { s.wg.Wait() }
 
+// Drain is Wait with a deadline: it blocks until every asynchronous
+// execution has finished or ctx ends, returning ctx's error in the
+// latter case. Graceful shutdown drains; a caller that cannot wait any
+// longer may then Close and Wait for ctx-observing processes to unwind.
+func (s *Service) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("wps: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Close cancels the service's execution context: in-flight asynchronous
+// executions whose processes observe their context stop promptly and
+// record ProcessFailed. Executions accepted after Close fail the same
+// way. Close does not wait; follow with Wait or Drain.
+func (s *Service) Close() { s.execCancel() }
+
+// ActiveExecutions counts asynchronous executions not yet in a terminal
+// status. After a successful Drain it is zero.
+func (s *Service) ActiveExecutions() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, ex := range s.execs {
+		if ex.status == StatusAccepted || ex.status == StatusRunning {
+			n++
+		}
+	}
+	return n
+}
+
 // ServeHTTP implements the KVP GET binding. Parameter names are
 // case-insensitive, per OGC KVP conventions.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -180,7 +227,7 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "describeprocess":
 		s.describeProcess(w, getKVP(q, "identifier"))
 	case "execute":
-		s.execute(w, getKVP(q, "identifier"), getKVP(q, "datainputs"),
+		s.execute(w, r.Context(), getKVP(q, "identifier"), getKVP(q, "datainputs"),
 			strings.EqualFold(getKVP(q, "storeexecuteresponse"), "true"))
 	case "getstatus":
 		s.getStatus(w, getKVP(q, "executionid"))
@@ -309,16 +356,16 @@ func ParseDataInputs(raw string) (map[string]string, error) {
 	return out, nil
 }
 
-func (s *Service) execute(w http.ResponseWriter, id, rawInputs string, async bool) {
+func (s *Service) execute(w http.ResponseWriter, ctx context.Context, id, rawInputs string, async bool) {
 	inputs, err := ParseDataInputs(rawInputs)
 	if err != nil {
 		writeException(w, http.StatusBadRequest, "InvalidParameterValue", err.Error())
 		return
 	}
-	s.executeParsed(w, id, inputs, async)
+	s.executeParsed(w, ctx, id, inputs, async)
 }
 
-func (s *Service) executeParsed(w http.ResponseWriter, id string, inputs map[string]string, async bool) {
+func (s *Service) executeParsed(w http.ResponseWriter, ctx context.Context, id string, inputs map[string]string, async bool) {
 	s.mu.RLock()
 	p, ok := s.processes[id]
 	s.mu.RUnlock()
@@ -328,7 +375,8 @@ func (s *Service) executeParsed(w http.ResponseWriter, id string, inputs map[str
 	}
 
 	if !async {
-		outputs, err := p.Execute(inputs)
+		// Synchronous: the execution lives and dies with the HTTP request.
+		outputs, err := p.Execute(ctx, inputs)
 		if err != nil {
 			writeXML(w, http.StatusOK, xmlExecuteResponse{
 				Process: id, Status: StatusFailed.String(), Message: err.Error(),
@@ -351,13 +399,17 @@ func (s *Service) executeParsed(w http.ResponseWriter, id string, inputs map[str
 	s.execs[ex.id] = ex
 	s.mu.Unlock()
 
+	// Asynchronous: the execution outlives the accepting request, so it
+	// runs under the service's lifecycle context, and the wg keeps it
+	// drainable — Wait/Drain block until every accepted execution has
+	// reached a terminal status.
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		s.mu.Lock()
 		ex.status = StatusRunning
 		s.mu.Unlock()
-		outputs, err := p.Execute(inputs)
+		outputs, err := p.Execute(s.execCtx, inputs)
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if err != nil {

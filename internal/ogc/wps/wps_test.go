@@ -1,6 +1,7 @@
 package wps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // addProcess doubles a number; it can be made to fail or block.
@@ -32,9 +34,13 @@ func (p *addProcess) Inputs() []ParamDesc {
 func (p *addProcess) Outputs() []ParamDesc {
 	return []ParamDesc{{Identifier: "sum", Title: "Sum", DataType: "double"}}
 }
-func (p *addProcess) Execute(inputs map[string]string) (map[string]string, error) {
+func (p *addProcess) Execute(ctx context.Context, inputs map[string]string) (map[string]string, error) {
 	if p.block != nil {
-		<-p.block
+		select {
+		case <-p.block:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	p.mu.Lock()
 	p.execs++
@@ -165,6 +171,58 @@ func TestExecuteAsyncLifecycle(t *testing.T) {
 	}
 	if !strings.Contains(body, "3") {
 		t.Fatalf("async outputs missing:\n%s", body)
+	}
+}
+
+// TestAsyncExecutionsDrainAndCloseCancels covers the serving-lifecycle
+// contract: Drain waits for in-flight async executions (with a deadline),
+// Close cancels the service's execution context so a ctx-observing
+// process stops, and every accepted execution lands in a terminal status.
+func TestAsyncExecutionsDrainAndCloseCancels(t *testing.T) {
+	p := &addProcess{block: make(chan struct{})}
+	svc := NewService("EVOp WPS")
+	if err := svc.Register(p); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	srv := httptest.NewServer(svc)
+	defer srv.Close()
+
+	_, body := get(t, srv.URL+"?service=WPS&request=Execute&identifier=add&datainputs="+
+		url.QueryEscape("a=1;b=2")+"&storeExecuteResponse=true")
+	if !strings.Contains(body, "ProcessAccepted") {
+		t.Fatalf("async accept:\n%s", body)
+	}
+	idx := strings.Index(body, `executionId="`)
+	rest := body[idx+len(`executionId="`):]
+	execID := rest[:strings.Index(rest, `"`)]
+
+	// Drain with a short deadline while the execution is blocked: it must
+	// report the deadline, not hang.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := svc.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain while blocked = %v, want deadline exceeded", err)
+	}
+	if n := svc.ActiveExecutions(); n != 1 {
+		t.Fatalf("active executions while blocked = %d, want 1", n)
+	}
+
+	// Close cancels the execution context; the blocked process unwinds.
+	svc.Close()
+	if err := svc.Drain(context.Background()); err != nil {
+		t.Fatalf("Drain after Close: %v", err)
+	}
+	svc.Wait()
+	if n := svc.ActiveExecutions(); n != 0 {
+		t.Fatalf("active executions after drain = %d, want 0", n)
+	}
+
+	_, body = get(t, srv.URL+"?service=WPS&request=GetStatus&executionid="+execID)
+	if !strings.Contains(body, "ProcessFailed") {
+		t.Fatalf("cancelled execution status:\n%s", body)
+	}
+	if strings.Contains(body, "ProcessStarted") || strings.Contains(body, "ProcessAccepted") {
+		t.Fatalf("execution left non-terminal after drain:\n%s", body)
 	}
 }
 

@@ -1,0 +1,220 @@
+package portal
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the portal's request pipeline: every request — widget,
+// REST, OGC or WebSocket — passes through panic recovery, request-ID
+// assignment, an in-flight gauge, access logging and per-endpoint
+// instrumentation before reaching its handler, and every handler receives
+// the request's context so abandoning the request abandons the work.
+
+// RequestIDHeader carries the request correlation ID. Inbound values are
+// propagated (so a fronting proxy's IDs survive); otherwise the portal
+// assigns one. Every response carries the header.
+const RequestIDHeader = "X-Request-ID"
+
+// StatusClientClosedRequest is recorded when the client abandoned the
+// request before a response was produced (nginx's 499 convention).
+const StatusClientClosedRequest = 499
+
+// ridPrefix distinguishes portal processes; ridCounter distinguishes
+// requests within one.
+var (
+	ridPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "portal"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ridCounter atomic.Uint64
+)
+
+func newRequestID() string {
+	return fmt.Sprintf("%s-%06d", ridPrefix, ridCounter.Add(1))
+}
+
+// statusRecorder captures the response status for logging and metrics.
+// It forwards Hijack so the WebSocket upgrade keeps working; a hijacked
+// connection is recorded as 101.
+type statusRecorder struct {
+	http.ResponseWriter
+	status   int
+	hijacked bool
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(b []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(b)
+}
+
+func (sr *statusRecorder) Hijack() (net.Conn, *bufio.ReadWriter, error) {
+	hj, ok := sr.ResponseWriter.(http.Hijacker)
+	if !ok {
+		return nil, nil, fmt.Errorf("portal: response writer cannot hijack")
+	}
+	conn, rw, err := hj.Hijack()
+	if err == nil {
+		sr.hijacked = true
+		if sr.status == 0 {
+			sr.status = http.StatusSwitchingProtocols
+		}
+	}
+	return conn, rw, err
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Status reports the recorded status, defaulting to 200 for handlers
+// that wrote a body without an explicit WriteHeader, and 0 only when no
+// response was produced at all.
+func (sr *statusRecorder) Status() int {
+	if sr.status == 0 {
+		return http.StatusOK
+	}
+	return sr.status
+}
+
+// endpointStats accumulates one route's counters; guarded by Portal.epMu.
+type endpointStats struct {
+	requests    int64
+	errors      int64
+	totalMicros int64
+	maxMicros   int64
+}
+
+// EndpointMetrics is one route's /metrics snapshot.
+type EndpointMetrics struct {
+	// Requests counts completed requests; Errors those that answered
+	// with a 4xx/5xx status (or produced no response at all).
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// AvgMillis and MaxMillis summarise handler latency.
+	AvgMillis float64 `json:"avgMillis"`
+	MaxMillis float64 `json:"maxMillis"`
+}
+
+// HTTPMetrics is the request-pipeline section of /metrics.
+type HTTPMetrics struct {
+	// InFlight is the number of requests currently being served
+	// (including the /metrics request reporting it).
+	InFlight int64 `json:"inFlight"`
+	// Panics counts handler panics caught by the recovery middleware.
+	Panics int64 `json:"panics"`
+	// Endpoints maps route pattern to its counters.
+	Endpoints map[string]EndpointMetrics `json:"endpoints"`
+}
+
+// handle registers a handler under the portal's per-endpoint
+// instrumentation, keyed by the route pattern. All registration happens
+// in New, before the portal serves traffic.
+func (p *Portal) handle(pattern string, h http.Handler) {
+	st := &endpointStats{}
+	p.endpoints[pattern] = st
+	p.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() {
+			elapsed := time.Since(start).Microseconds()
+			status := 0
+			if sr, ok := w.(*statusRecorder); ok {
+				status = sr.status // raw: 0 means "nothing written" (a panic)
+			}
+			p.epMu.Lock()
+			st.requests++
+			if status == 0 || status >= 400 {
+				st.errors++
+			}
+			st.totalMicros += elapsed
+			if elapsed > st.maxMicros {
+				st.maxMicros = elapsed
+			}
+			p.epMu.Unlock()
+		}()
+		h.ServeHTTP(w, r)
+	}))
+}
+
+func (p *Portal) handleFunc(pattern string, h http.HandlerFunc) {
+	p.handle(pattern, h)
+}
+
+// httpMetrics snapshots the pipeline counters.
+func (p *Portal) httpMetrics() HTTPMetrics {
+	m := HTTPMetrics{
+		InFlight:  p.inflight.Load(),
+		Panics:    p.panics.Load(),
+		Endpoints: make(map[string]EndpointMetrics, len(p.endpoints)),
+	}
+	p.epMu.Lock()
+	defer p.epMu.Unlock()
+	for pattern, st := range p.endpoints {
+		em := EndpointMetrics{
+			Requests:  st.requests,
+			Errors:    st.errors,
+			MaxMillis: float64(st.maxMicros) / 1000,
+		}
+		if st.requests > 0 {
+			em.AvgMillis = float64(st.totalMicros) / float64(st.requests) / 1000
+		}
+		m.Endpoints[pattern] = em
+	}
+	return m
+}
+
+// SetLogger directs access and lifecycle logging (discarded by default).
+// Call before the portal serves traffic.
+func (p *Portal) SetLogger(l *log.Logger) {
+	if l != nil {
+		p.logger = l
+	}
+}
+
+// ServeHTTP implements http.Handler: the pipeline wraps every route.
+func (p *Portal) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rid := r.Header.Get(RequestIDHeader)
+	if rid == "" {
+		rid = newRequestID()
+	}
+	w.Header().Set(RequestIDHeader, rid)
+	rec := &statusRecorder{ResponseWriter: w}
+	p.inflight.Add(1)
+	start := time.Now()
+	defer func() {
+		p.inflight.Add(-1)
+		if v := recover(); v != nil {
+			p.panics.Add(1)
+			p.logger.Printf("panic %s %s rid=%s: %v\n%s", r.Method, r.URL.Path, rid, v, debug.Stack())
+			if rec.status == 0 && !rec.hijacked {
+				writeJSON(rec, http.StatusInternalServerError,
+					map[string]string{"error": "internal error", "requestId": rid})
+			}
+		}
+		p.logger.Printf("%s %s %d %v rid=%s", r.Method, r.URL.Path, rec.Status(),
+			time.Since(start).Round(time.Microsecond), rid)
+	}()
+	p.mux.ServeHTTP(rec, r)
+}

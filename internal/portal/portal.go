@@ -15,16 +15,21 @@
 package portal
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"evop/internal/broker"
 	"evop/internal/core"
 	"evop/internal/geo"
+	"evop/internal/hydro/topmodel"
 	"evop/internal/rest"
 	"evop/internal/scenario"
 	"evop/internal/sensor"
@@ -32,10 +37,32 @@ import (
 	"evop/internal/ws"
 )
 
+// maxUploadBytes bounds dataset upload bodies; larger requests answer
+// 413 instead of buffering unbounded CSV into memory.
+const maxUploadBytes = 8 << 20
+
+// sessionBroker is the slice of the Resource Broker the portal's session
+// endpoints use. It exists so tests can inject faults (e.g. Subscribe
+// failing after Connect succeeded) that the real broker cannot produce.
+type sessionBroker interface {
+	Connect(userID, service string) (broker.Session, error)
+	Subscribe(sessionID string) (<-chan broker.Update, error)
+	Disconnect(sessionID string) error
+	Session(id string) (broker.Session, error)
+}
+
 // Portal is the EVOp web front end; it implements http.Handler.
 type Portal struct {
-	obs *core.Observatory
-	mux *http.ServeMux
+	obs    *core.Observatory
+	broker sessionBroker
+	mux    *http.ServeMux
+	logger *log.Logger
+
+	// Request-pipeline state (see middleware.go).
+	inflight  atomic.Int64
+	panics    atomic.Int64
+	epMu      sync.Mutex
+	endpoints map[string]*endpointStats
 }
 
 var _ http.Handler = (*Portal)(nil)
@@ -45,33 +72,34 @@ func New(obs *core.Observatory) (*Portal, error) {
 	if obs == nil {
 		return nil, errors.New("portal: nil observatory")
 	}
-	p := &Portal{obs: obs, mux: http.NewServeMux()}
-	p.mux.Handle("/api/", rest.NewHandler(obs.Assets))
-	p.mux.Handle("/wps", obs.WPS)
-	p.mux.Handle("/sos", obs.SOS)
-	p.mux.HandleFunc("/", p.index)
-	p.mux.HandleFunc("/healthz", p.health)
-	p.mux.HandleFunc("/metrics", p.metrics)
-	p.mux.HandleFunc("/map/layers", p.mapLayers)
-	p.mux.HandleFunc("/sensors/", p.sensors)
-	p.mux.HandleFunc("/widgets/fusion", p.fusion)
-	p.mux.HandleFunc("/widgets/model/run", p.modelRun)
-	p.mux.HandleFunc("/widgets/model/scenarios", p.scenarios)
-	p.mux.HandleFunc("/widgets/model/storm-window", p.stormWindow)
-	p.mux.HandleFunc("/widgets/quality", p.qualityWidget)
-	p.mux.HandleFunc("/widgets/lowflow", p.lowflowWidget)
-	p.mux.HandleFunc("/datasets/upload", p.uploadDataset)
-	p.mux.HandleFunc("/sessions/connect", p.sessionConnect)
-	p.mux.HandleFunc("/sessions/", p.sessionGet)
-	p.mux.HandleFunc("/ws/session", p.sessionSocket)
-	p.mux.Handle("/workflows", obs.Workflows)
-	p.mux.Handle("/workflows/", obs.Workflows)
+	p := &Portal{
+		obs:       obs,
+		broker:    obs.Broker,
+		mux:       http.NewServeMux(),
+		logger:    log.New(io.Discard, "", 0),
+		endpoints: make(map[string]*endpointStats),
+	}
+	p.handle("/api/", rest.NewHandler(obs.Assets))
+	p.handle("/wps", obs.WPS)
+	p.handle("/sos", obs.SOS)
+	p.handleFunc("/", p.index)
+	p.handleFunc("/healthz", p.health)
+	p.handleFunc("/metrics", p.metrics)
+	p.handleFunc("/map/layers", p.mapLayers)
+	p.handleFunc("/sensors/", p.sensors)
+	p.handleFunc("/widgets/fusion", p.fusion)
+	p.handleFunc("/widgets/model/run", p.modelRun)
+	p.handleFunc("/widgets/model/scenarios", p.scenarios)
+	p.handleFunc("/widgets/model/storm-window", p.stormWindow)
+	p.handleFunc("/widgets/quality", p.qualityWidget)
+	p.handleFunc("/widgets/lowflow", p.lowflowWidget)
+	p.handleFunc("/datasets/upload", p.uploadDataset)
+	p.handleFunc("/sessions/connect", p.sessionConnect)
+	p.handleFunc("/sessions/", p.sessionGet)
+	p.handleFunc("/ws/session", p.sessionSocket)
+	p.handle("/workflows", obs.Workflows)
+	p.handle("/workflows/", obs.Workflows)
 	return p, nil
-}
-
-// ServeHTTP implements http.Handler.
-func (p *Portal) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	p.mux.ServeHTTP(w, r)
 }
 
 // index serves a minimal landing page listing the portal's surfaces —
@@ -110,9 +138,15 @@ func (p *Portal) health(w http.ResponseWriter, _ *http.Request) {
 }
 
 // metrics serves the operational snapshot the infrastructure operator
-// watches: instance counts, session states, cost, management activity.
+// watches: instance counts, session states, cost, management activity,
+// plus the portal's own request-pipeline counters under "http". The
+// infrastructure fields stay top-level (embedded) so existing consumers
+// keep working.
 func (p *Portal) metrics(w http.ResponseWriter, _ *http.Request) {
-	rest.WriteJSON(w, http.StatusOK, p.obs.Metrics())
+	rest.WriteJSON(w, http.StatusOK, struct {
+		core.InfraMetrics
+		HTTP HTTPMetrics `json:"http"`
+	}{p.obs.Metrics(), p.httpMetrics()})
 }
 
 // mapLayers serves the geotagged marker layer: every sensor and every
@@ -226,18 +260,12 @@ func (p *Portal) sensorSeries(w http.ResponseWriter, r *http.Request, id string)
 }
 
 func (p *Portal) nowFallback() time.Time {
-	// Use the latest reading across the network as "now"; fall back to
-	// wall clock for an idle network.
-	latest := time.Time{}
-	for _, s := range p.obs.Network.Sensors() {
-		if r, err := p.obs.Network.Latest(s.ID); err == nil && r.Time.After(latest) {
-			latest = r.Time
-		}
+	// Use the newest reading across the network as "now" (maintained on
+	// ingest, O(1)); fall back to wall clock for an idle network.
+	if r, err := p.obs.Network.Newest(); err == nil {
+		return r.Time.Add(time.Nanosecond)
 	}
-	if latest.IsZero() {
-		return time.Now()
-	}
-	return latest.Add(time.Nanosecond)
+	return time.Now()
 }
 
 func timeOrDefault(raw string, def time.Time) time.Time {
@@ -274,13 +302,38 @@ func (p *Portal) scenarios(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, scenario.All())
 }
 
+// statusForRunErr maps model-run pipeline errors onto HTTP statuses:
+// unknown resources are 404, invalid parameters 400, an abandoned
+// request 499 (the client is gone; the status is for logs and metrics),
+// a deadline overrun 504, anything else 500. ErrUnknownCatchment wraps
+// ErrBadConfig, so the not-found checks must come first.
+func statusForRunErr(err error) int {
+	switch {
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, core.ErrUnknownCatchment), errors.Is(err, core.ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrBadConfig), errors.Is(err, scenario.ErrUnknown),
+		errors.Is(err, topmodel.ErrBadParams):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeRunErr(w http.ResponseWriter, err error) {
+	writeJSON(w, statusForRunErr(err), map[string]string{"error": err.Error()})
+}
+
 // qualityWidget answers the water-quality storyboard:
 // GET /widgets/quality?catchment=morland&scenario=compaction.
 func (p *Portal) qualityWidget(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	res, err := p.obs.RunQuality(q.Get("catchment"), q.Get("scenario"))
+	res, err := p.obs.RunQualityContext(r.Context(), q.Get("catchment"), q.Get("scenario"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeRunErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -296,8 +349,15 @@ func (p *Portal) uploadDataset(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := r.URL.Query().Get("id")
+	r.Body = http.MaxBytesReader(w, r.Body, maxUploadBytes)
 	series, err := timeseries.ReadCSV(r.Body, time.Hour)
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("upload exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "parsing CSV: " + err.Error()})
 		return
 	}
@@ -312,9 +372,9 @@ func (p *Portal) uploadDataset(w http.ResponseWriter, r *http.Request) {
 // GET /widgets/lowflow?catchment=morland&scenario=afforestation.
 func (p *Portal) lowflowWidget(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	res, err := p.obs.RunLowFlow(q.Get("catchment"), q.Get("scenario"))
+	res, err := p.obs.RunLowFlowContext(r.Context(), q.Get("catchment"), q.Get("scenario"))
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeRunErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, res)
@@ -325,9 +385,9 @@ func (p *Portal) lowflowWidget(w http.ResponseWriter, r *http.Request) {
 // GET /widgets/model/storm-window?catchment=morland.
 func (p *Portal) stormWindow(w http.ResponseWriter, r *http.Request) {
 	cid := r.URL.Query().Get("catchment")
-	hours, err := p.obs.DriestStormWindow(cid, 5)
+	hours, err := p.obs.DriestStormWindowContext(r.Context(), cid, 5)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		writeRunErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]int{"stormAtHours": hours})
@@ -348,10 +408,9 @@ func (p *Portal) modelRun(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
 		return
 	}
-	res, outcome, err := p.obs.RunModelCached(req)
+	res, outcome, err := p.obs.RunModelCachedContext(r.Context(), req)
 	if err != nil {
-		status := http.StatusBadRequest
-		writeJSON(w, status, map[string]string{"error": err.Error()})
+		writeRunErr(w, err)
 		return
 	}
 	w.Header().Set("X-Cache", outcome.String())
@@ -380,7 +439,7 @@ func (p *Portal) sessionConnect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	s, err := p.obs.Broker.Connect(q.Get("user"), q.Get("service"))
+	s, err := p.broker.Connect(q.Get("user"), q.Get("service"))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
@@ -393,14 +452,14 @@ func (p *Portal) sessionGet(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Path[len("/sessions/"):]
 	switch r.Method {
 	case http.MethodGet:
-		s, err := p.obs.Broker.Session(id)
+		s, err := p.broker.Session(id)
 		if err != nil {
 			writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusOK, s)
 	case http.MethodDelete:
-		if err := p.obs.Broker.Disconnect(id); err != nil {
+		if err := p.broker.Disconnect(id); err != nil {
 			writeJSON(w, http.StatusNotFound, map[string]string{"error": err.Error()})
 			return
 		}
@@ -420,19 +479,22 @@ func (p *Portal) sessionSocket(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		return // Upgrade already wrote the HTTP error
 	}
-	s, err := p.obs.Broker.Connect(user, service)
+	s, err := p.broker.Connect(user, service)
 	if err != nil {
 		conn.Close(ws.CloseInternalErr, err.Error())
 		return
 	}
-	updates, err := p.obs.Broker.Subscribe(s.ID)
+	updates, err := p.broker.Subscribe(s.ID)
 	if err != nil {
+		// The session was connected but cannot be watched; end it rather
+		// than leak a live broker session nobody is attached to.
+		_ = p.broker.Disconnect(s.ID)
 		conn.Close(ws.CloseInternalErr, err.Error())
 		return
 	}
 	// Send the initial session snapshot.
 	if !p.sendSession(conn, broker.Update{Kind: initialKind(s), Session: s}) {
-		p.obs.Broker.Disconnect(s.ID)
+		p.broker.Disconnect(s.ID)
 		return
 	}
 
@@ -456,12 +518,12 @@ func (p *Portal) sessionSocket(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			if !p.sendSession(conn, u) {
-				p.obs.Broker.Disconnect(s.ID)
+				p.broker.Disconnect(s.ID)
 				<-done
 				return
 			}
 		case <-done:
-			p.obs.Broker.Disconnect(s.ID)
+			p.broker.Disconnect(s.ID)
 			return
 		}
 	}
@@ -486,16 +548,3 @@ func (p *Portal) sendSession(conn *ws.Conn, u broker.Update) bool {
 	return conn.WriteMessage(ws.OpText, payload) == nil
 }
 
-// ListenAndServe runs the portal on addr until the server fails; it is a
-// convenience for cmd/evop-portal.
-func (p *Portal) ListenAndServe(addr string) error {
-	srv := &http.Server{
-		Addr:              addr,
-		Handler:           p,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	if err := srv.ListenAndServe(); err != nil {
-		return fmt.Errorf("portal server: %w", err)
-	}
-	return nil
-}

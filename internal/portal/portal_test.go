@@ -22,6 +22,7 @@ var epoch = time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC)
 type fixture struct {
 	obs *core.Observatory
 	clk *clock.Simulated
+	p   *Portal
 	srv *httptest.Server
 }
 
@@ -44,7 +45,7 @@ func newFixture(t *testing.T) *fixture {
 	clk.Advance(3 * time.Hour)
 	srv := httptest.NewServer(p)
 	t.Cleanup(srv.Close)
-	return &fixture{obs: obs, clk: clk, srv: srv}
+	return &fixture{obs: obs, clk: clk, p: p, srv: srv}
 }
 
 func (f *fixture) get(t *testing.T, path string) (int, []byte) {
@@ -236,8 +237,21 @@ func TestModelRunWidget(t *testing.T) {
 	}
 
 	code, _ = f.post(t, "/widgets/model/run", `{"catchment":"ghost","model":"topmodel"}`)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown catchment = %d", code)
+	}
+	code, _ = f.post(t, "/widgets/model/run", `{"catchment":"morland","model":"hec-ras"}`)
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown model = %d", code)
+	}
+	code, _ = f.post(t, "/widgets/model/run", `{"catchment":"morland","model":"topmodel","scenario":"urban"}`)
 	if code != http.StatusBadRequest {
-		t.Fatalf("bad catchment = %d", code)
+		t.Fatalf("unknown scenario = %d", code)
+	}
+	code, _ = f.post(t, "/widgets/model/run",
+		`{"catchment":"morland","model":"topmodel","topmodelParams":{"m":-1}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad params = %d", code)
 	}
 	code, _ = f.post(t, "/widgets/model/run", `{bad json`)
 	if code != http.StatusBadRequest {
@@ -374,7 +388,7 @@ func TestQualityWidget(t *testing.T) {
 		t.Fatalf("out = %+v", out)
 	}
 	code, _ = f.get(t, "/widgets/quality?catchment=ghost")
-	if code != http.StatusBadRequest {
+	if code != http.StatusNotFound {
 		t.Fatalf("unknown catchment = %d", code)
 	}
 }
@@ -395,7 +409,7 @@ func TestStormWindowEndpoint(t *testing.T) {
 		t.Fatalf("stormAtHours = %d", out.StormAtHours)
 	}
 	code, _ = f.get(t, "/widgets/model/storm-window?catchment=ghost")
-	if code != http.StatusBadRequest {
+	if code != http.StatusNotFound {
 		t.Fatalf("unknown catchment = %d", code)
 	}
 }
@@ -557,7 +571,7 @@ func TestLowFlowWidget(t *testing.T) {
 		t.Fatalf("out = %+v", out)
 	}
 	code, _ = f.get(t, "/widgets/lowflow?catchment=ghost")
-	if code != http.StatusBadRequest {
+	if code != http.StatusNotFound {
 		t.Fatalf("unknown catchment = %d", code)
 	}
 }

@@ -7,6 +7,15 @@
 // users press "run", and concurrent duplicates share a single in-flight
 // computation instead of stampeding the model kernel.
 //
+// Do is context-aware, with request-scoped lifecycle semantics designed
+// for interactive serving: a caller whose context ends stops waiting
+// immediately (outcome Canceled) without killing the shared flight, the
+// computation itself runs detached from any single caller's context, and
+// only when *every* waiter has abandoned a flight is its computation
+// context cancelled — so one browser disconnecting never steals the
+// result from the classmates still watching, while a run nobody wants
+// any more stops burning CPU.
+//
 // Built on the standard library only (container/list + sync), it is
 // deliberately generic so other expensive observatory products (terrain
 // derivations, quality runs) can adopt it.
@@ -14,6 +23,7 @@ package runcache
 
 import (
 	"container/list"
+	"context"
 	"sync"
 )
 
@@ -22,13 +32,17 @@ type Outcome int
 
 // Do outcomes.
 const (
-	// Miss means this call computed the value.
+	// Miss means this call started the computation of the value.
 	Miss Outcome = iota
 	// Hit means the value was already cached.
 	Hit
 	// Coalesced means the call piggybacked on another caller's
 	// in-flight computation of the same key.
 	Coalesced
+	// Canceled means the caller's context ended before the value was
+	// available; the caller stopped waiting (the flight itself is only
+	// cancelled once every waiter has gone).
+	Canceled
 )
 
 // String renders the outcome for headers and logs.
@@ -38,6 +52,8 @@ func (o Outcome) String() string {
 		return "hit"
 	case Coalesced:
 		return "coalesced"
+	case Canceled:
+		return "canceled"
 	default:
 		return "miss"
 	}
@@ -45,10 +61,15 @@ func (o Outcome) String() string {
 
 // Stats is a snapshot of the cache's counters.
 type Stats struct {
-	// Hits, Misses and Coalesced count Do outcomes.
+	// Hits counts calls answered from cache, Misses counts computations
+	// started, Coalesced counts calls that joined a shared in-flight
+	// computation.
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"`
+	// Canceled counts callers whose context ended before their value was
+	// available (a leader or follower that stopped waiting).
+	Canceled int64 `json:"canceled"`
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions int64 `json:"evictions"`
 	// Size is the current number of cached entries.
@@ -67,7 +88,7 @@ type Cache[V any] struct {
 	inflight map[string]*flight[V]
 	gen      uint64 // bumped by Purge to drop stale in-flight results
 
-	hits, misses, coalesced, evictions int64
+	hits, misses, coalesced, canceled, evictions int64
 }
 
 type entry[V any] struct {
@@ -75,10 +96,16 @@ type entry[V any] struct {
 	val V
 }
 
+// flight is one in-progress computation. Its lifecycle is reference-
+// counted: every Do call waiting on it holds one reference, and when the
+// last waiter leaves before completion the flight's context is cancelled
+// and the flight is unpublished so a later Do starts fresh.
 type flight[V any] struct {
-	done chan struct{}
-	val  V
-	err  error
+	done    chan struct{}
+	cancel  context.CancelFunc
+	waiters int
+	val     V
+	err     error
 }
 
 // New returns a cache holding at most capacity entries; capacities below
@@ -100,7 +127,13 @@ func New[V any](capacity int) *Cache[V] {
 // same key block and share the single computation's result (including
 // its error). Errors are returned but never cached, so a later call
 // retries.
-func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, Outcome, error) {
+//
+// compute receives a context owned by the flight, not by any single
+// caller: it carries ctx's values but is only cancelled once every
+// caller waiting on the flight has gone. If ctx ends while this call is
+// waiting, Do returns promptly with outcome Canceled and ctx's error;
+// other waiters (and the computation, if any remain) are unaffected.
+func (c *Cache[V]) Do(ctx context.Context, key string, compute func(ctx context.Context) (V, error)) (V, Outcome, error) {
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
@@ -109,29 +142,74 @@ func (c *Cache[V]) Do(key string, compute func() (V, error)) (V, Outcome, error)
 		c.mu.Unlock()
 		return val, Hit, nil
 	}
+	if err := ctx.Err(); err != nil {
+		// Never start or join a flight on behalf of a dead request.
+		c.canceled++
+		c.mu.Unlock()
+		var zero V
+		return zero, Canceled, err
+	}
 	if fl, ok := c.inflight[key]; ok {
+		fl.waiters++
 		c.coalesced++
 		c.mu.Unlock()
-		<-fl.done
-		return fl.val, Coalesced, fl.err
+		return c.wait(ctx, key, fl, Coalesced)
 	}
-	fl := &flight[V]{done: make(chan struct{})}
+
+	// Leader: publish a flight and compute detached, under a context that
+	// inherits ctx's values but survives ctx's cancellation for as long
+	// as any waiter remains.
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	fl := &flight[V]{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	c.inflight[key] = fl
 	c.misses++
 	gen := c.gen
 	c.mu.Unlock()
 
-	fl.val, fl.err = compute()
+	go func() {
+		val, err := compute(fctx)
+		c.mu.Lock()
+		fl.val, fl.err = val, err
+		// A replacement flight may have been published after this one was
+		// abandoned; only unpublish ourselves.
+		if c.inflight[key] == fl {
+			delete(c.inflight, key)
+		}
+		// Discard results computed against state invalidated by Purge.
+		if err == nil && gen == c.gen {
+			c.store(key, val)
+		}
+		c.mu.Unlock()
+		cancel()
+		close(fl.done)
+	}()
 
-	c.mu.Lock()
-	delete(c.inflight, key)
-	// Discard results computed against state invalidated by Purge.
-	if fl.err == nil && gen == c.gen {
-		c.store(key, fl.val)
+	return c.wait(ctx, key, fl, Miss)
+}
+
+// wait blocks until the flight completes or ctx ends, releasing the
+// caller's reference on the flight in the latter case.
+func (c *Cache[V]) wait(ctx context.Context, key string, fl *flight[V], outcome Outcome) (V, Outcome, error) {
+	select {
+	case <-fl.done:
+		return fl.val, outcome, fl.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		fl.waiters--
+		if fl.waiters == 0 {
+			// Nobody wants this result any more: stop the computation and
+			// unpublish the flight so a later identical request starts
+			// fresh instead of joining a dying one.
+			fl.cancel()
+			if c.inflight[key] == fl {
+				delete(c.inflight, key)
+			}
+		}
+		c.canceled++
+		c.mu.Unlock()
+		var zero V
+		return zero, Canceled, ctx.Err()
 	}
-	c.mu.Unlock()
-	close(fl.done)
-	return fl.val, Miss, fl.err
 }
 
 // Get returns the cached value without computing, refreshing its
@@ -190,6 +268,7 @@ func (c *Cache[V]) Stats() Stats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Coalesced: c.coalesced,
+		Canceled:  c.canceled,
 		Evictions: c.evictions,
 		Size:      c.ll.Len(),
 	}

@@ -147,6 +147,12 @@ type Network struct {
 	running bool
 	stops   []func() bool
 	dropped int
+	// newest is the most recent reading across the whole network,
+	// maintained on ingest so "what time is it, by the data?" queries
+	// (the portal's now-fallback on every series/fusion request) are O(1)
+	// instead of a per-sensor scan.
+	newest    Reading
+	hasNewest bool
 }
 
 // NewNetwork returns an empty network on the given clock.
@@ -247,6 +253,9 @@ func (n *Network) sample(id string) {
 		r = Reading{SensorID: id, Kind: s.Kind, Time: now, Value: s.Driver(now)}
 		n.history[id].Add(timeseries.Observation{Time: now, Value: r.Value})
 	}
+	if !n.hasNewest || !r.Time.Before(n.newest.Time) {
+		n.newest, n.hasNewest = r, true
+	}
 	subs := make([]chan Reading, len(n.subs))
 	copy(subs, n.subs)
 	n.mu.Unlock()
@@ -322,6 +331,19 @@ func (n *Network) Latest(id string) (Reading, error) {
 	}
 	obs := h.At(h.Len() - 1)
 	return Reading{SensorID: id, Kind: s.Kind, Time: obs.Time, Value: obs.Value}, nil
+}
+
+// Newest returns the most recent reading across the entire network. It
+// is maintained on ingest (O(1), no per-sensor scan) and is the
+// network's notion of "now" for data-relative queries. ErrNoData is
+// returned before any sensor has sampled.
+func (n *Network) Newest() (Reading, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.hasNewest {
+		return Reading{}, fmt.Errorf("network has no readings: %w", ErrNoData)
+	}
+	return n.newest, nil
 }
 
 // History returns a sensor's readings within [from, to).

@@ -96,6 +96,46 @@ func TestNetworkSamplingAndHistory(t *testing.T) {
 	}
 }
 
+func TestNewestTracksIngestAcrossSensors(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	n, err := NewNetwork(clk)
+	if err != nil {
+		t.Fatalf("NewNetwork: %v", err)
+	}
+	if _, err := n.Newest(); !errors.Is(err, ErrNoData) {
+		t.Fatalf("empty Newest err = %v, want ErrNoData", err)
+	}
+	fast := levelSensor("fast")
+	slow := levelSensor("slow")
+	slow.Interval = time.Hour
+	for _, s := range []Sensor{fast, slow, camSensor("cam")} {
+		if err := n.Add(s); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	n.Start()
+	defer n.Stop()
+
+	clk.Advance(90 * time.Minute)
+	newest, err := n.Newest()
+	if err != nil {
+		t.Fatalf("Newest: %v", err)
+	}
+	if !newest.Time.Equal(epoch.Add(90 * time.Minute)) {
+		t.Fatalf("newest at %v, want %v", newest.Time, epoch.Add(90*time.Minute))
+	}
+	// Newest must agree with the O(sensors) scan it replaces.
+	var scanned Reading
+	for _, s := range n.Sensors() {
+		if r, err := n.Latest(s.ID); err == nil && r.Time.After(scanned.Time) {
+			scanned = r
+		}
+	}
+	if !newest.Time.Equal(scanned.Time) {
+		t.Fatalf("Newest %v disagrees with per-sensor scan %v", newest.Time, scanned.Time)
+	}
+}
+
 func TestNetworkValidationAndErrors(t *testing.T) {
 	if _, err := NewNetwork(nil); !errors.Is(err, ErrBadSensor) {
 		t.Fatalf("nil clock err = %v", err)

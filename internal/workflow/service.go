@@ -25,8 +25,10 @@ import (
 var ErrBadDefinition = errors.New("workflow: invalid definition")
 
 // ProcessFunc is a computation invocable from a workflow node: string
-// inputs to string outputs, the same contract as a WPS process.
-type ProcessFunc func(inputs map[string]string) (map[string]string, error)
+// inputs to string outputs, the same contract as a WPS process. The
+// context is the executing workflow's — it carries cancellation from the
+// submitting HTTP request down into each node's computation.
+type ProcessFunc func(ctx context.Context, inputs map[string]string) (map[string]string, error)
 
 // NodeDef is one node of a workflow definition document.
 type NodeDef struct {
@@ -151,7 +153,7 @@ func (s *Service) build(def Definition) (*Workflow, error) {
 		node := Node{
 			ID:   nd.ID,
 			Deps: depList,
-			Run: func(_ context.Context, upstream map[string]any) (any, error) {
+			Run: func(ctx context.Context, upstream map[string]any) (any, error) {
 				inputs := make(map[string]string, len(nd.Inputs))
 				for k, v := range nd.Inputs {
 					refNode, refOut, ok := parseRef(v)
@@ -169,7 +171,7 @@ func (s *Service) build(def Definition) (*Workflow, error) {
 					}
 					inputs[k] = val
 				}
-				return fn(inputs)
+				return fn(ctx, inputs)
 			},
 		}
 		if err := w.Add(node); err != nil {

@@ -22,17 +22,17 @@ func testService(t *testing.T) *Service {
 			t.Fatalf("RegisterProcess(%s): %v", name, err)
 		}
 	}
-	mustRegister("const", func(in map[string]string) (map[string]string, error) {
+	mustRegister("const", func(_ context.Context, in map[string]string) (map[string]string, error) {
 		return map[string]string{"value": in["value"]}, nil
 	})
-	mustRegister("double", func(in map[string]string) (map[string]string, error) {
+	mustRegister("double", func(_ context.Context, in map[string]string) (map[string]string, error) {
 		v, err := strconv.Atoi(in["value"])
 		if err != nil {
 			return nil, err
 		}
 		return map[string]string{"value": strconv.Itoa(v * 2)}, nil
 	})
-	mustRegister("add", func(in map[string]string) (map[string]string, error) {
+	mustRegister("add", func(_ context.Context, in map[string]string) (map[string]string, error) {
 		a, err := strconv.Atoi(in["a"])
 		if err != nil {
 			return nil, err
@@ -63,7 +63,7 @@ func TestRegisterProcessValidation(t *testing.T) {
 	if err := s.RegisterProcess("", nil); !errors.Is(err, ErrBadDefinition) {
 		t.Fatalf("empty registration err = %v", err)
 	}
-	ok := func(map[string]string) (map[string]string, error) { return nil, nil }
+	ok := func(context.Context, map[string]string) (map[string]string, error) { return nil, nil }
 	if err := s.RegisterProcess("p", ok); err != nil {
 		t.Fatalf("RegisterProcess: %v", err)
 	}
@@ -147,7 +147,7 @@ func TestReplayStoredRun(t *testing.T) {
 func TestReplayDetectsNondeterministicProcess(t *testing.T) {
 	s := NewService()
 	var n atomic.Int64
-	s.RegisterProcess("flaky", func(map[string]string) (map[string]string, error) {
+	s.RegisterProcess("flaky", func(context.Context, map[string]string) (map[string]string, error) {
 		return map[string]string{"v": strconv.FormatInt(n.Add(1), 10)}, nil
 	})
 	run, err := s.Execute(context.Background(), Definition{
