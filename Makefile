@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz
+.PHONY: build test check chaos bench fuzz
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,15 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race -shuffle=on ./...
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(MAKE) chaos
+
+# chaos is the fault-injection tier: the seeded chaos scenario, the faulty-
+# provider regression tests and the breaker/backoff unit tests, run twice
+# under the race detector in a shuffled order so recovery is provably
+# deterministic and free of ordering dependencies.
+chaos:
+	$(GO) test -race -shuffle=on -count=2 -run 'Chaos|Fault|Breaker|Backoff|Suspend' \
+		./internal/loadbalancer ./internal/cloud/... ./internal/broker ./internal/resilience
 
 bench:
 	$(GO) test -bench=. -benchmem .

@@ -27,6 +27,7 @@ import (
 	"evop/internal/hydro/fuse"
 	"evop/internal/hydro/topmodel"
 	"evop/internal/loadbalancer"
+	"evop/internal/resilience"
 	"evop/internal/runcache"
 	"evop/internal/timeseries"
 	"evop/internal/weather"
@@ -491,4 +492,92 @@ func BenchmarkUHRouting(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		uh.Route(f.Rain)
 	}
+}
+
+// BenchmarkLBTickFaulty measures one load-balancer control tick against
+// fault-injecting providers with circuit breakers enabled: every tick pays
+// for health observation, breaker probing, the terminate-retry queue and
+// occasional failovers, on top of the ordinary scaling work. This is the
+// robustness overhead budget — it should stay within the same order as a
+// tick against healthy providers.
+func BenchmarkLBTickFaulty(b *testing.B) {
+	clk := clock.NewSimulated(benchStart)
+	private, err := cloud.NewProvider(cloud.Config{
+		Name: "openstack", Kind: cloud.Private, MaxInstances: 8,
+		BootDelay: 30 * time.Second, AddrPrefix: "10.1.0.", Clock: clk,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	public, err := cloud.NewProvider(cloud.Config{
+		Name: "aws", Kind: cloud.Public, MaxInstances: -1,
+		BootDelay: 90 * time.Second, AddrPrefix: "54.0.0.", Clock: clk,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fpriv, err := cloud.NewFaultyProvider(private, clk, cloud.FaultSpec{
+		Seed: 1, LaunchErrorRate: 0.1, TerminateErrorRate: 0.1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	fpub, err := cloud.NewFaultyProvider(public, clk, cloud.FaultSpec{
+		Seed: 2, LaunchErrorRate: 0.05, TerminateErrorRate: 0.05,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	multi, err := crosscloud.New(crosscloud.PrivateFirst{}, fpriv, fpub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := multi.EnableBreakers(resilience.BreakerConfig{Clock: clk}); err != nil {
+		b.Fatal(err)
+	}
+	brk, err := broker.NewWithOptions(clk, broker.Options{Retention: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	lb, err := loadbalancer.New(loadbalancer.Config{
+		Multi: multi, Broker: brk, Clock: clk,
+		Image:  cloud.Image{ID: "svc-v1", Kind: cloud.Streamlined, Services: []string{"topmodel"}},
+		Flavor: cloud.DefaultFlavor(), Interval: 10 * time.Second,
+		MinInstances: 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 6; i++ { // warm the floor through the fault noise
+		clk.Advance(45 * time.Second)
+		lb.Tick()
+	}
+	var open []string
+	for i := 0; i < 12; i++ {
+		s, err := brk.Connect("bench", "topmodel")
+		if err != nil {
+			b.Fatal(err)
+		}
+		open = append(open, s.ID)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Churn one session per tick so scaling and idle-reclaim paths
+		// (and their terminate retries) stay exercised.
+		if err := brk.Disconnect(open[i%len(open)]); err != nil {
+			b.Fatal(err)
+		}
+		clk.Advance(10 * time.Second)
+		lb.Tick()
+		s, err := brk.Connect("bench", "topmodel")
+		if err != nil {
+			b.Fatal(err)
+		}
+		open[i%len(open)] = s.ID
+	}
+	b.StopTimer()
+	st := lb.Stats()
+	b.ReportMetric(float64(st.TerminateRetries), "term-retries")
+	b.ReportMetric(float64(multi.Failovers()), "failovers")
 }

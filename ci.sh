@@ -8,3 +8,8 @@ go test -race -shuffle=on ./...
 # Benchmark smoke tier: every benchmark must still run (one iteration);
 # catches bit-rot in the perf harness without timing anything.
 go test -run='^$' -bench=. -benchtime=1x ./...
+# Chaos tier: seeded fault-injection scenario + resilience regression
+# tests, twice under race in shuffled order — recovery must be
+# deterministic and data-race free.
+go test -race -shuffle=on -count=2 -run 'Chaos|Fault|Breaker|Backoff|Suspend' \
+	./internal/loadbalancer ./internal/cloud/... ./internal/broker ./internal/resilience

@@ -193,6 +193,11 @@ type Broker struct {
 	pending    []string
 	queued     map[string]bool
 	numPending int
+	// suspended marks pending sessions that previously had an instance and
+	// lost it (Suspend); suspendedTotal counts every suspension ever. The
+	// LB surfaces both so a chaos run can assert nobody is left stranded.
+	suspended      map[string]bool
+	suspendedTotal int
 	// retained is a ring of closed-session IDs (oldest at head) whose
 	// snapshots live in retainedByID.
 	retained     []string
@@ -243,6 +248,7 @@ func NewWithOptions(clk clock.Clock, opts Options) (*Broker, error) {
 		liveElem:     make(map[string]*list.Element),
 		byInstance:   make(map[string][]*Session),
 		queued:       make(map[string]bool),
+		suspended:    make(map[string]bool),
 		retainedByID: make(map[string]*Session),
 		subs:         make(map[string]chan Update),
 		bound:        make(map[string]*cloud.Instance),
@@ -325,6 +331,7 @@ func (b *Broker) bindLocked(s *Session, inst *cloud.Instance) error {
 	if s.State == Pending {
 		b.numPending--
 	}
+	delete(b.suspended, s.ID)
 	s.State = Active
 	s.InstanceID = inst.ID()
 	s.InstanceAddr = inst.Addr()
@@ -412,6 +419,7 @@ func (b *Broker) Migrate(sessionID string, to *cloud.Instance, reason string) er
 	if wasPending {
 		b.numPending--
 	}
+	delete(b.suspended, sessionID)
 	s.State = Active
 	s.InstanceID = to.ID()
 	s.InstanceAddr = to.Addr()
@@ -451,6 +459,8 @@ func (b *Broker) Suspend(sessionID, reason string) error {
 	s.InstanceID = ""
 	s.InstanceAddr = ""
 	b.numPending++
+	b.suspended[sessionID] = true
+	b.suspendedTotal++
 	b.enqueuePendingLocked(sessionID)
 	b.pushLocked(sessionID, Update{Kind: UpdateSuspended, Session: *s, Reason: reason, At: b.clk.Now()})
 	return nil
@@ -479,6 +489,7 @@ func (b *Broker) Disconnect(sessionID string) error {
 	if s.State == Pending {
 		b.numPending--
 	}
+	delete(b.suspended, sessionID)
 	s.State = Closed
 	b.closedTotal++
 	b.pushLocked(sessionID, Update{Kind: UpdateClosed, Session: *s, At: b.clk.Now()})
@@ -625,6 +636,21 @@ func (b *Broker) PendingCount() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.numPending
+}
+
+// SuspendedCount returns how many sessions are currently suspended:
+// pending because they lost their instance, still waiting for a new one.
+func (b *Broker) SuspendedCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.suspended)
+}
+
+// SuspendedTotal returns how many suspensions have ever happened.
+func (b *Broker) SuspendedTotal() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.suspendedTotal
 }
 
 // LiveCount returns how many sessions are pending or active.

@@ -603,3 +603,88 @@ func TestStateAndKindStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestSuspendResumePushSequence follows one session through the losing-an-
+// instance path: Suspend must push UpdateSuspended (empty instance), the
+// next AssignPending must rebind it and push UpdateAssigned with the new
+// address, and the suspended counters must track the whole arc.
+func TestSuspendResumePushSequence(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	b, _ := New(clk)
+	first := testInstance(t, clk)
+	placer := &fixedPlacer{inst: first}
+	b.SetPlacer(placer)
+
+	s, err := b.Connect("alice", "topmodel")
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	ch, err := b.Subscribe(s.ID)
+	if err != nil {
+		t.Fatalf("Subscribe: %v", err)
+	}
+
+	placer.inst = nil // the replacement has not booted yet
+	if err := b.Suspend(s.ID, "instance "+first.ID()+" malfunctioning"); err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	if b.SuspendedCount() != 1 || b.SuspendedTotal() != 1 {
+		t.Fatalf("suspended count/total = %d/%d, want 1/1", b.SuspendedCount(), b.SuspendedTotal())
+	}
+	if first.Sessions() != 0 {
+		t.Fatalf("old instance still holds %d sessions", first.Sessions())
+	}
+	u := <-ch
+	if u.Kind != UpdateSuspended || u.Session.InstanceAddr != "" || u.Session.State != Pending {
+		t.Fatalf("first push = %+v, want suspended with no instance", u)
+	}
+	// Nothing to assign yet: the session stays suspended.
+	if got := b.AssignPending(); got != 0 || b.SuspendedCount() != 1 {
+		t.Fatalf("premature assignment: assigned=%d suspended=%d", got, b.SuspendedCount())
+	}
+
+	// The replacement boots; the session resumes there.
+	clk.Advance(time.Minute)
+	second := testInstance(t, clk)
+	placer.inst = second
+	if got := b.AssignPending(); got != 1 {
+		t.Fatalf("AssignPending = %d, want 1", got)
+	}
+	if b.SuspendedCount() != 0 {
+		t.Fatalf("suspended count after resume = %d, want 0", b.SuspendedCount())
+	}
+	if b.SuspendedTotal() != 1 {
+		t.Fatalf("suspended total after resume = %d, want 1 (historic)", b.SuspendedTotal())
+	}
+	u = <-ch
+	if u.Kind != UpdateAssigned || u.Session.InstanceAddr != second.Addr() {
+		t.Fatalf("resume push = %+v, want assigned on %s", u, second.Addr())
+	}
+
+	// A second suspension resolved by Migrate also clears the flag.
+	if err := b.Suspend(s.ID, "again"); err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	if err := b.Migrate(s.ID, first, "rescue"); err != nil {
+		t.Fatalf("Migrate: %v", err)
+	}
+	if b.SuspendedCount() != 0 || b.SuspendedTotal() != 2 {
+		t.Fatalf("after migrate: count/total = %d/%d, want 0/2", b.SuspendedCount(), b.SuspendedTotal())
+	}
+	u = <-ch // the suspension push
+	u = <-ch // the migrate push: a pending session rebinding arrives as "assigned"
+	if u.Kind != UpdateAssigned || u.Session.InstanceAddr != first.Addr() {
+		t.Fatalf("migrate push = %+v, want assigned on %s", u, first.Addr())
+	}
+
+	// Disconnect clears a live suspension from the count.
+	if err := b.Suspend(s.ID, "third"); err != nil {
+		t.Fatalf("Suspend: %v", err)
+	}
+	if err := b.Disconnect(s.ID); err != nil {
+		t.Fatalf("Disconnect: %v", err)
+	}
+	if b.SuspendedCount() != 0 || b.SuspendedTotal() != 3 {
+		t.Fatalf("after disconnect: count/total = %d/%d, want 0/3", b.SuspendedCount(), b.SuspendedTotal())
+	}
+}

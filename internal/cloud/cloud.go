@@ -35,7 +35,23 @@ var (
 	ErrBadState = errors.New("cloud: invalid instance state")
 	// ErrBadConfig indicates an invalid provider configuration.
 	ErrBadConfig = errors.New("cloud: invalid configuration")
+	// ErrTransient indicates a momentary control-plane failure; the call
+	// did not take effect and may be retried.
+	ErrTransient = errors.New("cloud: transient provider error")
+	// ErrOutage indicates the provider's control plane is down for a
+	// stretch; calls fail until the outage window ends.
+	ErrOutage = errors.New("cloud: provider outage")
+	// ErrTimeout indicates a control-plane call exceeded its deadline;
+	// the call did not take effect and may be retried.
+	ErrTimeout = errors.New("cloud: provider call timed out")
 )
+
+// IsRetryable reports whether an error is an infrastructure fault worth
+// retrying (transient error, outage, timeout), as opposed to a definitive
+// answer from a healthy control plane (capacity, not-found, bad state).
+func IsRetryable(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrOutage) || errors.Is(err, ErrTimeout)
+}
 
 // ProviderKind distinguishes owned from leased infrastructure.
 type ProviderKind int

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"evop/internal/cloud"
+	"evop/internal/resilience"
 )
 
 // Common errors.
@@ -94,11 +95,48 @@ func (ByImageKind) Order(providers []cloud.Provider, img cloud.Image) []cloud.Pr
 	return out
 }
 
+// providerStats holds one provider's health counters; guarded by Multi.mu.
+type providerStats struct {
+	launches        int
+	launchFaults    int
+	terminates      int
+	terminateFaults int
+	skippedOpen     int
+	probes          int
+	probeFaults     int
+	lastErr         string
+}
+
+// ProviderHealth is a point-in-time snapshot of one provider's health as
+// seen by the façade: breaker position and per-operation outcomes.
+type ProviderHealth struct {
+	Name    string `json:"name"`
+	Kind    string `json:"kind"`
+	Breaker string `json:"breaker"` // closed | open | half-open | none
+	// ConsecutiveFailures and BreakerOpens come from the breaker.
+	ConsecutiveFailures int `json:"consecutiveFailures"`
+	BreakerOpens        int `json:"breakerOpens"`
+	Launches            int `json:"launches"`
+	LaunchFailures      int `json:"launchFailures"`
+	Terminates          int `json:"terminates"`
+	TerminateFailures   int `json:"terminateFailures"`
+	// SkippedOpen counts launches diverted because the breaker was open.
+	SkippedOpen int `json:"skippedOpen"`
+	Probes      int `json:"probes"`
+	// LastError is the most recent control-plane error message.
+	LastError string `json:"lastError,omitempty"`
+}
+
 // Multi is the cross-cloud compute façade.
 type Multi struct {
 	mu        sync.RWMutex
 	providers []cloud.Provider
 	policy    Policy
+	// breakers (one per provider, when enabled) gate launches and record
+	// control-plane outcomes; stats mirrors them with counters.
+	breakers  map[string]*resilience.Breaker
+	stats     map[string]*providerStats
+	failovers int
 }
 
 // New builds a Multi over the given providers with the given placement
@@ -119,7 +157,46 @@ func New(policy Policy, providers ...cloud.Provider) (*Multi, error) {
 	}
 	cp := make([]cloud.Provider, len(providers))
 	copy(cp, providers)
-	return &Multi{providers: cp, policy: policy}, nil
+	stats := make(map[string]*providerStats, len(cp))
+	for _, p := range cp {
+		stats[p.Name()] = &providerStats{}
+	}
+	return &Multi{providers: cp, policy: policy, stats: stats}, nil
+}
+
+// EnableBreakers installs a circuit breaker per provider (cfg.Clock is
+// required). Once enabled, Launch skips providers whose breaker is open,
+// failing over to the next provider in policy order, and ProbeHealth
+// drives open breakers back to closed once the provider recovers.
+func (m *Multi) EnableBreakers(cfg resilience.BreakerConfig) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	breakers := make(map[string]*resilience.Breaker, len(m.providers))
+	for _, p := range m.providers {
+		br, err := resilience.NewBreaker(cfg)
+		if err != nil {
+			return fmt.Errorf("breaker for %s: %w", p.Name(), err)
+		}
+		breakers[p.Name()] = br
+	}
+	m.breakers = breakers
+	return nil
+}
+
+// breakerFor returns the provider's breaker, or nil when breakers are
+// disabled.
+func (m *Multi) breakerFor(name string) *resilience.Breaker {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.breakers[name]
+}
+
+// statsFor returns the provider's counters (always present for registered
+// providers).
+func (m *Multi) statsFor(name string) *providerStats {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.stats[name]
 }
 
 // SetPolicy swaps the placement policy at runtime — the interoperability
@@ -162,8 +239,13 @@ func (m *Multi) Provider(name string) (cloud.Provider, error) {
 }
 
 // Launch places a new instance according to the active policy, trying
-// providers in policy order until one accepts. It returns ErrNoProvider
-// when every provider is at capacity.
+// providers in policy order until one accepts. Providers whose circuit
+// breaker is open are skipped, and a provider that fails with an
+// infrastructure error (rather than ErrCapacity) no longer aborts the
+// launch — the next provider in order is tried instead, so a single
+// misbehaving control plane cannot block placement while another cloud
+// has capacity. It returns ErrNoProvider when every provider is at
+// capacity, unreachable or gated.
 func (m *Multi) Launch(img cloud.Image, flavor cloud.Flavor) (*cloud.Instance, error) {
 	m.mu.RLock()
 	policy := m.policy
@@ -171,39 +253,175 @@ func (m *Multi) Launch(img cloud.Image, flavor cloud.Flavor) (*cloud.Instance, e
 	copy(providers, m.providers)
 	m.mu.RUnlock()
 
-	var lastErr error
+	var errs []error
+	degraded := false // a provider was skipped or failed before success
 	for _, p := range policy.Order(providers, img) {
+		name := p.Name()
+		if br := m.breakerFor(name); br != nil && !br.Allow() {
+			m.mu.Lock()
+			m.stats[name].skippedOpen++
+			m.mu.Unlock()
+			errs = append(errs, fmt.Errorf("%s: circuit breaker open", name))
+			degraded = true
+			continue
+		}
 		inst, err := p.Launch(img, flavor)
+		m.noteOutcome(name, opLaunch, err)
 		if err == nil {
+			if degraded {
+				m.mu.Lock()
+				m.failovers++
+				m.mu.Unlock()
+			}
 			return inst, nil
 		}
+		errs = append(errs, fmt.Errorf("%s: %w", name, err))
 		if !errors.Is(err, cloud.ErrCapacity) {
-			return nil, fmt.Errorf("launching on %s: %w", p.Name(), err)
+			degraded = true
 		}
-		lastErr = err
 	}
-	if lastErr != nil {
-		return nil, fmt.Errorf("all providers exhausted: %w (last: %v)", ErrNoProvider, lastErr)
-	}
-	return nil, ErrNoProvider
+	return nil, fmt.Errorf("all providers exhausted: %w (%w)", ErrNoProvider, errors.Join(errs...))
 }
 
-// Terminate removes an instance from whichever provider owns it.
+// launch/terminate/probe operation tags for noteOutcome.
+type opKind int
+
+const (
+	opLaunch opKind = iota + 1
+	opTerminate
+	opProbe
+)
+
+// noteOutcome records one control-plane call's result in the provider's
+// counters and breaker. Definitive answers from a healthy control plane
+// (capacity, not-found) count as breaker successes; only infrastructure
+// faults trip it.
+func (m *Multi) noteOutcome(name string, op opKind, err error) {
+	healthy := err == nil || errors.Is(err, cloud.ErrCapacity) || errors.Is(err, cloud.ErrNotFound)
+	m.mu.Lock()
+	st := m.stats[name]
+	switch op {
+	case opLaunch:
+		st.launches++
+		if !healthy {
+			st.launchFaults++
+		}
+	case opTerminate:
+		st.terminates++
+		if !healthy {
+			st.terminateFaults++
+		}
+	case opProbe:
+		st.probes++
+		if !healthy {
+			st.probeFaults++
+		}
+	}
+	if err != nil && !errors.Is(err, cloud.ErrCapacity) && !errors.Is(err, cloud.ErrNotFound) {
+		st.lastErr = err.Error()
+	}
+	br := m.breakers[name]
+	m.mu.Unlock()
+	if br == nil {
+		return
+	}
+	if healthy {
+		br.Success()
+	} else {
+		br.Failure()
+	}
+}
+
+// Terminate removes an instance from whichever provider owns it. A
+// provider failing with an infrastructure error does not mask another
+// provider owning the instance: every provider is consulted, and the
+// call only errors when none succeeded. Terminations are never gated by
+// the breaker — they are idempotent, and retrying them is how leaked
+// instances are reclaimed — but their outcomes still feed it.
 func (m *Multi) Terminate(id string) error {
 	m.mu.RLock()
 	providers := make([]cloud.Provider, len(m.providers))
 	copy(providers, m.providers)
 	m.mu.RUnlock()
+	var errs []error
 	for _, p := range providers {
 		err := p.Terminate(id)
+		m.noteOutcome(p.Name(), opTerminate, err)
 		if err == nil {
 			return nil
 		}
 		if !errors.Is(err, cloud.ErrNotFound) {
-			return fmt.Errorf("terminating on %s: %w", p.Name(), err)
+			errs = append(errs, fmt.Errorf("%s: %w", p.Name(), err))
 		}
 	}
+	if len(errs) > 0 {
+		return fmt.Errorf("terminate %s: %w", id, errors.Join(errs...))
+	}
 	return fmt.Errorf("terminate %s: %w", id, cloud.ErrNotFound)
+}
+
+// ProbeHealth sends a cheap control-plane read (Get on a sentinel ID) to
+// every provider whose breaker is not closed, so breakers recover to
+// closed even when no launch traffic is flowing. A definitive ErrNotFound
+// answer proves the control plane is back. No-op when breakers are
+// disabled.
+func (m *Multi) ProbeHealth() {
+	m.mu.RLock()
+	providers := make([]cloud.Provider, len(m.providers))
+	copy(providers, m.providers)
+	m.mu.RUnlock()
+	for _, p := range providers {
+		br := m.breakerFor(p.Name())
+		if br == nil || br.State() == resilience.Closed {
+			continue
+		}
+		if !br.Allow() {
+			continue
+		}
+		_, err := p.Get("breaker-probe")
+		m.noteOutcome(p.Name(), opProbe, err)
+	}
+}
+
+// Health returns per-provider health snapshots in registration order.
+func (m *Multi) Health() []ProviderHealth {
+	m.mu.RLock()
+	providers := make([]cloud.Provider, len(m.providers))
+	copy(providers, m.providers)
+	m.mu.RUnlock()
+	out := make([]ProviderHealth, 0, len(providers))
+	for _, p := range providers {
+		name := p.Name()
+		h := ProviderHealth{Name: name, Kind: p.Kind().String(), Breaker: "none"}
+		if br := m.breakerFor(name); br != nil {
+			st := br.Stats()
+			h.Breaker = st.StateName
+			h.ConsecutiveFailures = st.ConsecutiveFailures
+			h.BreakerOpens = st.Opens
+		}
+		m.mu.RLock()
+		if st := m.stats[name]; st != nil {
+			h.Launches = st.launches
+			h.LaunchFailures = st.launchFaults
+			h.Terminates = st.terminates
+			h.TerminateFailures = st.terminateFaults
+			h.SkippedOpen = st.skippedOpen
+			h.Probes = st.probes
+			h.LastError = st.lastErr
+		}
+		m.mu.RUnlock()
+		out = append(out, h)
+	}
+	return out
+}
+
+// Failovers reports how many launches succeeded on a provider after an
+// earlier provider in policy order was skipped (breaker open) or failed
+// with an infrastructure error.
+func (m *Multi) Failovers() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.failovers
 }
 
 // Instances lists live instances across all providers in provider

@@ -7,6 +7,7 @@ import (
 
 	"evop/internal/clock"
 	"evop/internal/cloud"
+	"evop/internal/resilience"
 )
 
 var epoch = time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC)
@@ -245,5 +246,175 @@ func TestCostAwareSpreadsAcrossPublicProviders(t *testing.T) {
 	}
 	if counts["aws-like"] == 0 || counts["azure-like"] == 0 {
 		t.Fatalf("cost-aware did not spread: %v", counts)
+	}
+}
+
+// faultyClouds wraps the standard pair in FaultyProviders.
+func faultyClouds(t *testing.T, privateMax int, privSpec, pubSpec cloud.FaultSpec) (*clock.Simulated, *cloud.FaultyProvider, *cloud.FaultyProvider) {
+	t.Helper()
+	clk, private, public := testClouds(t, privateMax)
+	fpriv, err := cloud.NewFaultyProvider(private, clk, privSpec)
+	if err != nil {
+		t.Fatalf("faulty private: %v", err)
+	}
+	fpub, err := cloud.NewFaultyProvider(public, clk, pubSpec)
+	if err != nil {
+		t.Fatalf("faulty public: %v", err)
+	}
+	return clk, fpriv, fpub
+}
+
+func TestLaunchFailsOverPastFaultyProvider(t *testing.T) {
+	_, fpriv, fpub := faultyClouds(t, 4,
+		cloud.FaultSpec{Seed: 1, LaunchErrorRate: 1}, cloud.FaultSpec{Seed: 2})
+	m, _ := New(PrivateFirst{}, fpriv, fpub)
+
+	// Private errors on every launch; the façade must fail over to public
+	// instead of aborting.
+	inst, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+	if err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if inst.Kind() != cloud.Public {
+		t.Fatalf("instance kind = %v, want public (failover)", inst.Kind())
+	}
+	if m.Failovers() != 1 {
+		t.Fatalf("failovers = %d, want 1", m.Failovers())
+	}
+	h := m.Health()
+	if h[0].LaunchFailures != 1 || h[0].LastError == "" {
+		t.Fatalf("private health = %+v", h[0])
+	}
+	if h[1].Launches != 1 || h[1].LaunchFailures != 0 {
+		t.Fatalf("public health = %+v", h[1])
+	}
+	if h[0].Breaker != "none" {
+		t.Fatalf("breaker = %q without EnableBreakers, want none", h[0].Breaker)
+	}
+}
+
+func TestLaunchAllProvidersDownReturnsNoProvider(t *testing.T) {
+	_, fpriv, fpub := faultyClouds(t, 4,
+		cloud.FaultSpec{Seed: 1, LaunchErrorRate: 1}, cloud.FaultSpec{Seed: 2, LaunchErrorRate: 1})
+	m, _ := New(PrivateFirst{}, fpriv, fpub)
+	_, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+	if !errors.Is(err, ErrNoProvider) {
+		t.Fatalf("err = %v, want ErrNoProvider", err)
+	}
+	if !errors.Is(err, cloud.ErrTransient) {
+		t.Fatalf("err = %v, want to wrap the underlying ErrTransient", err)
+	}
+}
+
+func TestBreakerOpensAndSkipsProvider(t *testing.T) {
+	clk, fpriv, fpub := faultyClouds(t, 4,
+		cloud.FaultSpec{Seed: 1, LaunchErrorRate: 1}, cloud.FaultSpec{Seed: 2})
+	m, _ := New(PrivateFirst{}, fpriv, fpub)
+	if err := m.EnableBreakers(resilience.BreakerConfig{
+		Clock: clk, FailureThreshold: 3, OpenTimeout: time.Minute,
+	}); err != nil {
+		t.Fatalf("EnableBreakers: %v", err)
+	}
+
+	// Three failing launches trip the private breaker (each still fails
+	// over to public).
+	for i := 0; i < 3; i++ {
+		if _, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor()); err != nil {
+			t.Fatalf("Launch %d: %v", i, err)
+		}
+	}
+	h := m.Health()
+	if h[0].Breaker != "open" || h[0].BreakerOpens != 1 {
+		t.Fatalf("private breaker = %+v", h[0])
+	}
+	// While open, private is skipped without a control-plane call.
+	before := fpriv.Stats().Launches
+	if _, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor()); err != nil {
+		t.Fatalf("Launch while open: %v", err)
+	}
+	if fpriv.Stats().Launches != before {
+		t.Fatal("open breaker still let a launch through")
+	}
+	if m.Health()[0].SkippedOpen == 0 {
+		t.Fatal("skip not counted")
+	}
+	if m.Failovers() < 4 {
+		t.Fatalf("failovers = %d, want >=4", m.Failovers())
+	}
+
+	// Provider heals; after the cooldown a probe closes the breaker.
+	fpriv.SetErrorRates(0, 0, 0)
+	clk.Advance(time.Minute)
+	m.ProbeHealth()
+	h = m.Health()
+	if h[0].Breaker != "closed" {
+		t.Fatalf("private breaker after probe = %q, want closed", h[0].Breaker)
+	}
+	if h[0].Probes == 0 {
+		t.Fatal("probe not counted")
+	}
+	// Launches flow to private again.
+	inst, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+	if err != nil {
+		t.Fatalf("Launch after recovery: %v", err)
+	}
+	if inst.Kind() != cloud.Private {
+		t.Fatalf("instance kind = %v, want private after recovery", inst.Kind())
+	}
+}
+
+func TestProbeHealthKeepsOpenBreakerOpenWhileDown(t *testing.T) {
+	clk, fpriv, fpub := faultyClouds(t, 4,
+		cloud.FaultSpec{Seed: 1, LaunchErrorRate: 1, GetErrorRate: 1}, cloud.FaultSpec{Seed: 2})
+	m, _ := New(PrivateFirst{}, fpriv, fpub)
+	if err := m.EnableBreakers(resilience.BreakerConfig{
+		Clock: clk, FailureThreshold: 2, OpenTimeout: 30 * time.Second,
+	}); err != nil {
+		t.Fatalf("EnableBreakers: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+	}
+	if m.Health()[0].Breaker != "open" {
+		t.Fatal("breaker did not open")
+	}
+	// Probe during the outage: the failed probe re-opens the breaker.
+	clk.Advance(30 * time.Second)
+	m.ProbeHealth()
+	if got := m.Health()[0].Breaker; got != "open" {
+		t.Fatalf("breaker after failed probe = %q, want open", got)
+	}
+	// ProbeHealth never touches healthy-closed breakers.
+	if m.Health()[1].Probes != 0 {
+		t.Fatal("closed public breaker was probed")
+	}
+}
+
+func TestTerminateSurvivesFaultyFirstProvider(t *testing.T) {
+	_, fpriv, fpub := faultyClouds(t, 4,
+		cloud.FaultSpec{Seed: 9, TerminateErrorRate: 1}, cloud.FaultSpec{Seed: 2})
+	m, _ := New(PrivateFirst{}, fpriv, fpub)
+	// Fill private first so the next launch lands on public.
+	for i := 0; i < 4; i++ {
+		if _, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor()); err != nil {
+			t.Fatalf("Launch %d: %v", i, err)
+		}
+	}
+	pub, err := m.Launch(img(cloud.Streamlined), cloud.DefaultFlavor())
+	if err != nil {
+		t.Fatalf("public Launch: %v", err)
+	}
+	// Private's control plane errors on terminate, but the instance lives
+	// on public: the façade must still reach it.
+	if err := m.Terminate(pub.ID()); err != nil {
+		t.Fatalf("Terminate: %v", err)
+	}
+	// Terminating a private instance fails (and reports the fault).
+	privInst := fpriv.Instances()[0]
+	if err := m.Terminate(privInst.ID()); !errors.Is(err, cloud.ErrTransient) {
+		t.Fatalf("Terminate err = %v, want ErrTransient", err)
+	}
+	if m.Health()[0].TerminateFailures == 0 {
+		t.Fatal("terminate failure not counted")
 	}
 }

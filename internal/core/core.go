@@ -32,6 +32,7 @@ import (
 	"evop/internal/modellib"
 	"evop/internal/ogc/sos"
 	"evop/internal/ogc/wps"
+	"evop/internal/resilience"
 	"evop/internal/rest"
 	"evop/internal/runcache"
 	"evop/internal/scenario"
@@ -72,6 +73,11 @@ type Config struct {
 	// RunCacheSize bounds the model-run result cache (entries); 0 uses
 	// a default, negative is invalid.
 	RunCacheSize int
+	// Faults, when non-nil, wraps both clouds in deterministic fault
+	// injection (the public cloud uses Seed+1 so the two fault streams
+	// differ). Chaos experiments schedule outages and tune rates through
+	// FaultyPrivate / FaultyPublic on the assembled observatory.
+	Faults *cloud.FaultSpec
 }
 
 // DefaultConfig returns a config suitable for experiments: a small
@@ -123,7 +129,11 @@ type Observatory struct {
 	// façade over them.
 	Private *cloud.SimProvider
 	Public  *cloud.SimProvider
-	Multi   *crosscloud.Multi
+	// FaultyPrivate and FaultyPublic are the fault-injection decorators
+	// around the two clouds; nil unless Config.Faults was set.
+	FaultyPrivate *cloud.FaultyProvider
+	FaultyPublic  *cloud.FaultyProvider
+	Multi         *crosscloud.Multi
 	// Broker is the Resource Broker; LB the Load Balancer.
 	Broker *broker.Broker
 	LB     *loadbalancer.LB
@@ -186,9 +196,29 @@ func New(cfg Config) (*Observatory, error) {
 	if err != nil {
 		return nil, fmt.Errorf("building public cloud: %w", err)
 	}
-	o.Multi, err = crosscloud.New(crosscloud.PrivateFirst{}, o.Private, o.Public)
+	// The multi-cloud façade sees the fault decorators when chaos is on,
+	// the raw providers otherwise.
+	private, public := cloud.Provider(o.Private), cloud.Provider(o.Public)
+	if cfg.Faults != nil {
+		privSpec := *cfg.Faults
+		pubSpec := *cfg.Faults
+		pubSpec.Seed = privSpec.Seed + 1
+		o.FaultyPrivate, err = cloud.NewFaultyProvider(o.Private, cfg.Clock, privSpec)
+		if err != nil {
+			return nil, fmt.Errorf("wrapping private cloud: %w", err)
+		}
+		o.FaultyPublic, err = cloud.NewFaultyProvider(o.Public, cfg.Clock, pubSpec)
+		if err != nil {
+			return nil, fmt.Errorf("wrapping public cloud: %w", err)
+		}
+		private, public = o.FaultyPrivate, o.FaultyPublic
+	}
+	o.Multi, err = crosscloud.New(crosscloud.PrivateFirst{}, private, public)
 	if err != nil {
 		return nil, fmt.Errorf("building multi-cloud: %w", err)
+	}
+	if err := o.Multi.EnableBreakers(resilience.BreakerConfig{Clock: cfg.Clock}); err != nil {
+		return nil, fmt.Errorf("enabling circuit breakers: %w", err)
 	}
 	o.Broker, err = broker.New(cfg.Clock)
 	if err != nil {
@@ -865,6 +895,30 @@ type InfraMetrics struct {
 	// ModelRunCache reports the model-run cache's hit/miss/coalesced
 	// counters and current size.
 	ModelRunCache runcache.Stats `json:"modelRunCache"`
+	// Resilience reports the fault-handling state: per-provider breaker
+	// and failure counters, cross-provider failovers, the LB's retry
+	// bookkeeping and the broker's suspended-session counts.
+	Resilience ResilienceMetrics `json:"resilience"`
+}
+
+// ResilienceMetrics is the fault-handling slice of the operational
+// snapshot.
+type ResilienceMetrics struct {
+	// Providers holds one health snapshot per cloud, breaker state
+	// included, in registration order.
+	Providers []crosscloud.ProviderHealth `json:"providers"`
+	// Failovers counts launches that succeeded on a later provider after
+	// an earlier one was skipped or failed.
+	Failovers int `json:"failovers"`
+	// LB is the load balancer's robustness counters (launch/terminate
+	// failures, retries, outstanding terminations, in-flight
+	// replacements).
+	LB loadbalancer.Stats `json:"lb"`
+	// SuspendedSessions is how many sessions are currently waiting for a
+	// new instance after losing one; SuspendedEver counts every
+	// suspension since boot.
+	SuspendedSessions int `json:"suspendedSessions"`
+	SuspendedEver     int `json:"suspendedEver"`
 }
 
 // Metrics returns the current operational snapshot.
@@ -877,6 +931,13 @@ func (o *Observatory) Metrics() InfraMetrics {
 		Sensors:        len(o.Network.Sensors()),
 		WorkflowRuns:   len(o.Workflows.Runs()),
 		ModelRunCache:  o.runs.Stats(),
+		Resilience: ResilienceMetrics{
+			Providers:         o.Multi.Health(),
+			Failovers:         o.Multi.Failovers(),
+			LB:                o.LB.Stats(),
+			SuspendedSessions: o.Broker.SuspendedCount(),
+			SuspendedEver:     o.Broker.SuspendedTotal(),
+		},
 	}
 	for _, in := range o.Multi.Instances() {
 		if in.State() == cloud.StateBooting {

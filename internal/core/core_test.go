@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"evop/internal/clock"
+	"evop/internal/cloud"
 	"evop/internal/hydro/topmodel"
 	"evop/internal/runcache"
 	"evop/internal/scenario"
@@ -691,5 +692,92 @@ func TestUnknownCatchmentSentinel(t *testing.T) {
 	}
 	if _, err := o.RunQuality("ghost", ""); !errors.Is(err, ErrUnknownCatchment) {
 		t.Fatalf("RunQuality ghost err = %v, want ErrUnknownCatchment", err)
+	}
+}
+
+func TestResilienceMetricsSurface(t *testing.T) {
+	o, clk := newObs(t)
+	o.Start()
+	clk.Advance(time.Minute)
+	o.Stop()
+
+	m := o.Metrics()
+	if got := len(m.Resilience.Providers); got != 2 {
+		t.Fatalf("provider health entries = %d, want 2", got)
+	}
+	for _, p := range m.Resilience.Providers {
+		if p.Breaker != "closed" {
+			t.Fatalf("breaker %s = %q on a healthy platform, want closed", p.Name, p.Breaker)
+		}
+	}
+	if m.Resilience.LB.Ticks == 0 {
+		t.Fatal("LB stats not wired into metrics")
+	}
+	if m.Resilience.SuspendedSessions != 0 || m.Resilience.SuspendedEver != 0 {
+		t.Fatalf("suspended = %d/%d on a healthy platform, want 0/0",
+			m.Resilience.SuspendedSessions, m.Resilience.SuspendedEver)
+	}
+	if m.Resilience.Failovers != 0 {
+		t.Fatalf("failovers = %d on a healthy platform", m.Resilience.Failovers)
+	}
+}
+
+func TestFaultInjectionConfigWiresDecorators(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	cfg := DefaultConfig(clk)
+	cfg.ForcingDays = 30
+	cfg.Faults = &cloud.FaultSpec{Seed: 7}
+	o, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if o.FaultyPrivate == nil || o.FaultyPublic == nil {
+		t.Fatal("fault decorators not installed")
+	}
+	if o.FaultyPrivate.Inner() != o.Private || o.FaultyPublic.Inner() != o.Public {
+		t.Fatal("decorators do not wrap the observatory's clouds")
+	}
+
+	// A scheduled private outage is visible through the assembled stack:
+	// the breaker opens, launches fail over to the public cloud, and the
+	// platform keeps serving.
+	o.FaultyPrivate.ScheduleOutage(clk.Now(), 10*time.Minute)
+	for i := 0; i < 6; i++ {
+		clk.Advance(45 * time.Second)
+		o.LB.Tick()
+	}
+	if _, err := o.Broker.Connect("chaos-user", "topmodel"); err != nil {
+		t.Fatalf("Connect during outage: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		clk.Advance(45 * time.Second)
+		o.LB.Tick()
+	}
+	m := o.Metrics()
+	if m.PublicInstances == 0 {
+		t.Fatalf("metrics = %+v, want cloudburst onto public during private outage", m)
+	}
+	if o.FaultyPrivate.Stats().Outages == 0 {
+		t.Fatal("outage never injected a fault")
+	}
+
+	// After the outage the probes close the breaker again.
+	clk.Advance(10 * time.Minute)
+	for i := 0; i < 10; i++ {
+		clk.Advance(45 * time.Second)
+		o.LB.Tick()
+	}
+	for _, p := range o.Metrics().Resilience.Providers {
+		if p.Breaker != "closed" {
+			t.Fatalf("breaker %s = %q after outage ended, want closed", p.Name, p.Breaker)
+		}
+	}
+
+	// Invalid fault specs are rejected at assembly time.
+	bad := DefaultConfig(clk)
+	bad.ForcingDays = 30
+	bad.Faults = &cloud.FaultSpec{LaunchErrorRate: 2}
+	if _, err := New(bad); err == nil {
+		t.Fatal("invalid fault spec accepted")
 	}
 }

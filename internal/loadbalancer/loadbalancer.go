@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -37,6 +38,7 @@ import (
 	"evop/internal/clock"
 	"evop/internal/cloud"
 	"evop/internal/cloud/crosscloud"
+	"evop/internal/resilience"
 )
 
 // ErrBadConfig indicates an invalid load balancer configuration.
@@ -68,6 +70,10 @@ type Config struct {
 	// MinInstances keeps a floor of warm instances (prewarming). Default
 	// 1.
 	MinInstances int
+	// TerminateBackoff schedules retries of failed Terminate calls (a
+	// failed termination is leaked cost until it succeeds). Zero fields
+	// default to base = Interval, factor 2, max = 16×Interval, no jitter.
+	TerminateBackoff resilience.Backoff
 }
 
 func (c *Config) setDefaults() {
@@ -82,6 +88,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.MinInstances == 0 {
 		c.MinInstances = 1
+	}
+	if c.TerminateBackoff.Base == 0 {
+		c.TerminateBackoff.Base = c.Interval
+	}
+	if c.TerminateBackoff.Max == 0 {
+		c.TerminateBackoff.Max = 16 * c.Interval
 	}
 }
 
@@ -104,11 +116,49 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// Event records one management action, for experiment reporting.
+// Event records one management action, for experiment reporting. Actions:
+// launch | terminate | replace | migrate | suspend | terminate-failed |
+// terminate-cancelled.
 type Event struct {
 	At     time.Time `json:"at"`
-	Action string    `json:"action"` // launch | terminate | replace | migrate
+	Action string    `json:"action"`
 	Detail string    `json:"detail"`
+}
+
+// termRetry is one entry in the terminate-retry queue: an instance whose
+// Terminate call failed and must be retried with backoff until the
+// provider confirms it is gone (otherwise it silently leaks cost).
+type termRetry struct {
+	attempts int
+	nextAt   time.Time
+	reason   string
+	// idle marks scale-down terminations, which are cancelled if the
+	// instance picks up sessions while the retry is pending.
+	idle bool
+}
+
+// Stats is a snapshot of the LB's robustness counters.
+type Stats struct {
+	// Ticks is how many control iterations have run.
+	Ticks int `json:"ticks"`
+	// Replaced counts malfunctioning instances successfully retired.
+	Replaced int `json:"replaced"`
+	// LaunchFailures counts failed launch attempts (scale-up or
+	// replacement).
+	LaunchFailures int `json:"launchFailures"`
+	// TerminateFailures counts failed Terminate calls (each is retried).
+	TerminateFailures int `json:"terminateFailures"`
+	// TerminateRetries counts retry attempts made from the queue.
+	TerminateRetries int `json:"terminateRetries"`
+	// RecoveredTerminations counts terminations that eventually succeeded
+	// after at least one failure.
+	RecoveredTerminations int `json:"recoveredTerminations"`
+	// OutstandingTerminations is the current retry-queue depth — each
+	// entry is an instance still accruing cost.
+	OutstandingTerminations int `json:"outstandingTerminations"`
+	// InFlightReplacements is how many suspect instances currently have a
+	// replacement pending (booting replacement or unfinished terminate).
+	InFlightReplacements int `json:"inFlightReplacements"`
 }
 
 // instanceTrack holds the LB's rolling observations of one instance.
@@ -135,6 +185,18 @@ type LB struct {
 	events   []Event
 	ticks    int
 	replaced int
+	// replacing is the in-flight replacement table: suspect instance ID →
+	// replacement instance ID ("" while the replacement launch keeps
+	// failing). A suspect with an entry never triggers another launch, so
+	// a failing Terminate cannot cause a replacement storm.
+	replacing map[string]string
+	// termRetries is the terminate-retry queue, keyed by instance ID.
+	termRetries map[string]*termRetry
+	// robustness counters (see Stats).
+	launchFailures        int
+	terminateFailures     int
+	terminateRetries      int
+	recoveredTerminations int
 }
 
 var _ broker.Placer = (*LB)(nil)
@@ -146,7 +208,12 @@ func New(cfg Config) (*LB, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	lb := &LB{cfg: cfg, tracks: make(map[string]*instanceTrack)}
+	lb := &LB{
+		cfg:         cfg,
+		tracks:      make(map[string]*instanceTrack),
+		replacing:   make(map[string]string),
+		termRetries: make(map[string]*termRetry),
+	}
 	cfg.Broker.SetPlacer(lb)
 	return lb, nil
 }
@@ -222,7 +289,7 @@ func (lb *LB) PlaceNow(service string) *cloud.Instance {
 		if !serves(in, service) {
 			continue
 		}
-		if lb.isSuspect(in.ID()) {
+		if lb.isSuspect(in.ID()) || lb.isDoomed(in.ID()) {
 			continue
 		}
 		if best == nil || score(in) < score(best) {
@@ -237,6 +304,15 @@ func (lb *LB) isSuspect(id string) bool {
 	defer lb.mu.Unlock()
 	tr, ok := lb.tracks[id]
 	return ok && tr.suspectTicks >= lb.cfg.SuspectTicks
+}
+
+// isDoomed reports whether an instance has a pending terminate retry — it
+// is on its way out and must not receive new sessions.
+func (lb *LB) isDoomed(id string) bool {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	_, pending := lb.termRetries[id]
+	return pending
 }
 
 // serves reports whether an instance can host the service: streamlined
@@ -262,6 +338,8 @@ func (lb *LB) Tick() {
 	lb.mu.Unlock()
 
 	lb.observeHealth()
+	lb.cfg.Multi.ProbeHealth()
+	lb.retryTerminations()
 	lb.replaceMalfunctioning()
 	lb.cfg.Broker.AssignPending()
 	lb.scaleUp()
@@ -316,41 +394,165 @@ func (lb *LB) observeHealth() {
 }
 
 // replaceMalfunctioning starts replacements for suspect instances and
-// redirects their users.
+// redirects their users. The in-flight replacement table dedupes the
+// work: a suspect whose replacement is still booting, or whose Terminate
+// keeps failing, is not given a second replacement on the next tick.
 func (lb *LB) replaceMalfunctioning() {
 	for _, in := range lb.cfg.Multi.Instances() {
 		if in.State() != cloud.StateRunning || !lb.isSuspect(in.ID()) {
 			continue
 		}
-		sessions := lb.cfg.Broker.SessionsOn(in.ID())
-		// Launch a replacement; capacity may come from either cloud.
-		repl, err := lb.cfg.Multi.Launch(lb.cfg.Image, lb.cfg.Flavor)
-		if err == nil {
-			lb.record("replace", fmt.Sprintf("%s -> %s (%d sessions)", in.ID(), repl.ID(), len(sessions)))
-		} else {
-			lb.record("replace", fmt.Sprintf("%s (no replacement capacity: %v)", in.ID(), err))
+		id := in.ID()
+		sessions := lb.cfg.Broker.SessionsOn(id)
+
+		// Register the suspect and decide whether a replacement launch is
+		// still needed: none in flight, a previous launch failed, or the
+		// in-flight replacement died before the suspect was retired.
+		lb.mu.Lock()
+		replID, tracked := lb.replacing[id]
+		if !tracked {
+			lb.replacing[id] = ""
+			replID = ""
+		}
+		lb.mu.Unlock()
+		needLaunch := len(sessions) > 0 && (replID == "" || !lb.instanceLive(replID))
+		if needLaunch {
+			// Launch a replacement; capacity may come from either cloud.
+			repl, err := lb.cfg.Multi.Launch(lb.cfg.Image, lb.cfg.Flavor)
+			if err == nil {
+				lb.mu.Lock()
+				lb.replacing[id] = repl.ID()
+				lb.mu.Unlock()
+				lb.record("replace", fmt.Sprintf("%s -> %s (%d sessions)", id, repl.ID(), len(sessions)))
+			} else {
+				lb.mu.Lock()
+				lb.launchFailures++
+				lb.mu.Unlock()
+				lb.record("replace", fmt.Sprintf("%s (replacement launch failed: %v)", id, err))
+			}
 		}
 		// Redirect sessions to any healthy capacity available right now;
 		// the rest fall back to pending and are assigned when the
 		// replacement finishes booting.
 		for _, s := range sessions {
 			target := lb.PlaceNow(s.Service)
-			if target == nil || target.ID() == in.ID() {
-				lb.requeue(s.ID, in.ID())
+			if target == nil || target.ID() == id {
+				lb.requeue(s.ID, id)
 				continue
 			}
-			if err := lb.cfg.Broker.Migrate(s.ID, target, "instance "+in.ID()+" malfunctioning"); err != nil {
-				lb.requeue(s.ID, in.ID())
+			if err := lb.cfg.Broker.Migrate(s.ID, target, "instance "+id+" malfunctioning"); err != nil {
+				lb.requeue(s.ID, id)
 				continue
 			}
-			lb.record("migrate", s.ID+" off "+in.ID())
+			lb.record("migrate", s.ID+" off "+id)
 		}
-		if err := lb.cfg.Multi.Terminate(in.ID()); err == nil {
-			lb.record("terminate", in.ID()+" (malfunctioning)")
+		lb.tryTerminate(id, "malfunctioning", false)
+	}
+}
+
+// instanceLive reports whether an instance is still live (booting or
+// running) on any provider.
+func (lb *LB) instanceLive(id string) bool {
+	for _, in := range lb.cfg.Multi.Instances() {
+		if in.ID() == id && in.State() != cloud.StateTerminated {
+			return true
+		}
+	}
+	return false
+}
+
+// tryTerminate attempts a termination now, enqueueing a backoff retry on
+// failure. It reports whether the instance is confirmed gone. An instance
+// already queued for retry is left to the retry loop.
+func (lb *LB) tryTerminate(id, reason string, idle bool) bool {
+	lb.mu.Lock()
+	if _, pending := lb.termRetries[id]; pending {
+		lb.mu.Unlock()
+		return false
+	}
+	lb.mu.Unlock()
+	err := lb.cfg.Multi.Terminate(id)
+	if err == nil || errors.Is(err, cloud.ErrNotFound) {
+		lb.finishTerminate(id, reason, 0)
+		return true
+	}
+	lb.mu.Lock()
+	lb.terminateFailures++
+	lb.termRetries[id] = &termRetry{
+		attempts: 1,
+		nextAt:   lb.cfg.Clock.Now().Add(lb.cfg.TerminateBackoff.Delay(0)),
+		reason:   reason,
+		idle:     idle,
+	}
+	lb.mu.Unlock()
+	lb.record("terminate-failed", fmt.Sprintf("%s (%s, attempt 1): %v", id, reason, err))
+	return false
+}
+
+// finishTerminate records a confirmed termination and clears the
+// instance's retry and replacement bookkeeping.
+func (lb *LB) finishTerminate(id, reason string, attempts int) {
+	detail := id + " (" + reason + ")"
+	if attempts > 0 {
+		detail += fmt.Sprintf(" after %d failed attempts", attempts)
+	}
+	lb.record("terminate", detail)
+	lb.mu.Lock()
+	if attempts > 0 {
+		lb.recoveredTerminations++
+	}
+	delete(lb.termRetries, id)
+	if _, wasSuspect := lb.replacing[id]; wasSuspect {
+		delete(lb.replacing, id)
+		lb.replaced++
+	}
+	lb.mu.Unlock()
+}
+
+// retryTerminations drains due entries from the terminate-retry queue, in
+// instance-ID order for determinism. Idle-reclaim terminations are
+// cancelled if the instance picked up sessions while the retry was
+// pending.
+func (lb *LB) retryTerminations() {
+	now := lb.cfg.Clock.Now()
+	lb.mu.Lock()
+	due := make([]string, 0, len(lb.termRetries))
+	for id, e := range lb.termRetries {
+		if !e.nextAt.After(now) {
+			due = append(due, id)
+		}
+	}
+	lb.mu.Unlock()
+	sort.Strings(due)
+	for _, id := range due {
+		lb.mu.Lock()
+		e, ok := lb.termRetries[id]
+		lb.mu.Unlock()
+		if !ok {
+			continue
+		}
+		if e.idle && len(lb.cfg.Broker.SessionsOn(id)) > 0 {
 			lb.mu.Lock()
-			lb.replaced++
+			delete(lb.termRetries, id)
 			lb.mu.Unlock()
+			lb.record("terminate-cancelled", id+" (regained sessions while idle-reclaim was retrying)")
+			continue
 		}
+		lb.mu.Lock()
+		lb.terminateRetries++
+		lb.mu.Unlock()
+		err := lb.cfg.Multi.Terminate(id)
+		if err == nil || errors.Is(err, cloud.ErrNotFound) {
+			lb.finishTerminate(id, e.reason, e.attempts)
+			continue
+		}
+		lb.mu.Lock()
+		lb.terminateFailures++
+		e.attempts++
+		e.nextAt = now.Add(lb.cfg.TerminateBackoff.Delay(e.attempts - 1))
+		attempts := e.attempts
+		lb.mu.Unlock()
+		lb.record("terminate-failed", fmt.Sprintf("%s (%s, attempt %d): %v", id, e.reason, attempts, err))
 	}
 }
 
@@ -388,6 +590,11 @@ func (lb *LB) scaleUp() {
 	for i := 0; i < need; i++ {
 		inst, err := lb.cfg.Multi.Launch(lb.cfg.Image, lb.cfg.Flavor)
 		if err != nil {
+			// Pending sessions stay queued; the next tick retries (the
+			// interval is the retry cadence, breakers gate providers).
+			lb.mu.Lock()
+			lb.launchFailures++
+			lb.mu.Unlock()
 			lb.record("launch", "failed: "+err.Error())
 			return
 		}
@@ -456,8 +663,7 @@ func (lb *LB) scaleDown() {
 		if !idle {
 			continue
 		}
-		if err := lb.cfg.Multi.Terminate(in.ID()); err == nil {
-			lb.record("terminate", in.ID()+" (idle "+in.Kind().String()+")")
+		if lb.tryTerminate(in.ID(), "idle "+in.Kind().String(), true) {
 			total--
 		}
 	}
@@ -490,4 +696,20 @@ func (lb *LB) Replaced() int {
 	lb.mu.Lock()
 	defer lb.mu.Unlock()
 	return lb.replaced
+}
+
+// Stats returns a snapshot of the LB's robustness counters.
+func (lb *LB) Stats() Stats {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	return Stats{
+		Ticks:                   lb.ticks,
+		Replaced:                lb.replaced,
+		LaunchFailures:          lb.launchFailures,
+		TerminateFailures:       lb.terminateFailures,
+		TerminateRetries:        lb.terminateRetries,
+		RecoveredTerminations:   lb.recoveredTerminations,
+		OutstandingTerminations: len(lb.termRetries),
+		InFlightReplacements:    len(lb.replacing),
+	}
 }

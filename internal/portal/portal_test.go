@@ -464,12 +464,29 @@ func TestMetricsEndpoint(t *testing.T) {
 		PrivateInstances int `json:"privateInstances"`
 		LBTicks          int `json:"lbTicks"`
 		Sensors          int `json:"sensors"`
+		Resilience       struct {
+			Providers []struct {
+				Name    string `json:"name"`
+				Breaker string `json:"breaker"`
+			} `json:"providers"`
+			LB struct {
+				Ticks int `json:"ticks"`
+			} `json:"lb"`
+		} `json:"resilience"`
 	}
 	if err := json.Unmarshal(body, &m); err != nil {
 		t.Fatalf("unmarshal: %v", err)
 	}
 	if m.Sensors != 15 || m.LBTicks == 0 || m.PrivateInstances == 0 {
 		t.Fatalf("metrics = %+v", m)
+	}
+	if len(m.Resilience.Providers) != 2 || m.Resilience.LB.Ticks == 0 {
+		t.Fatalf("resilience metrics = %+v, want 2 providers and live LB stats", m.Resilience)
+	}
+	for _, p := range m.Resilience.Providers {
+		if p.Breaker != "closed" {
+			t.Fatalf("breaker %s = %q, want closed on a healthy platform", p.Name, p.Breaker)
+		}
 	}
 }
 

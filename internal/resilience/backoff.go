@@ -1,0 +1,100 @@
+// Package resilience provides the failure-handling primitives under
+// EVOp's Infrastructure Manager: deterministic exponential backoff with
+// jitter and a per-dependency circuit breaker. Both are pure over their
+// inputs — backoff delays derive from a seed, breaker transitions from a
+// clock.Clock — so every retry schedule and breaker trip is exactly
+// reproducible under the simulated clock. The package is stdlib-only.
+//
+// The design follows the operational lessons of the hybrid-cloud EVO
+// deployment the paper builds on: IaaS control planes fail transiently
+// and sometimes for long stretches, so callers need (a) spaced retries
+// that do not hammer a struggling provider and (b) a fast-fail switch
+// that diverts work to another provider while one is down.
+package resilience
+
+import "time"
+
+// Backoff defaults.
+const (
+	// DefaultBackoffBase is the first retry delay when Base is zero.
+	DefaultBackoffBase = time.Second
+	// DefaultBackoffMax caps the delay growth when Max is zero.
+	DefaultBackoffMax = 2 * time.Minute
+	// DefaultBackoffFactor is the per-attempt growth when Factor is zero.
+	DefaultBackoffFactor = 2.0
+)
+
+// Backoff computes exponential retry delays with deterministic jitter.
+// The zero value is usable and selects the defaults (1s base, 2m cap,
+// factor 2, no jitter). Delay is a pure function of (config, attempt), so
+// schedules are independent of call order and reproducible per seed.
+type Backoff struct {
+	// Base is the delay before the first retry (attempt 0).
+	Base time.Duration
+	// Max caps the grown (and jittered) delay.
+	Max time.Duration
+	// Factor is the multiplicative growth per attempt; values <= 1 are
+	// replaced by the default.
+	Factor float64
+	// Jitter spreads each delay uniformly over [1-Jitter, 1+Jitter)
+	// multiples of its nominal value; 0 disables jitter, values are
+	// clamped to [0, 1].
+	Jitter float64
+	// Seed selects the deterministic jitter stream.
+	Seed uint64
+}
+
+// Delay returns the wait before retry number attempt (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	if attempt < 0 {
+		attempt = 0
+	}
+	base := b.Base
+	if base <= 0 {
+		base = DefaultBackoffBase
+	}
+	max := b.Max
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	factor := b.Factor
+	if factor <= 1 {
+		factor = DefaultBackoffFactor
+	}
+	d := float64(base)
+	for i := 0; i < attempt; i++ {
+		d *= factor
+		if d >= float64(max) {
+			d = float64(max)
+			break
+		}
+	}
+	jitter := b.Jitter
+	if jitter < 0 {
+		jitter = 0
+	}
+	if jitter > 1 {
+		jitter = 1
+	}
+	if jitter > 0 {
+		// splitmix64 over (seed, attempt) yields the same jitter for the
+		// same attempt regardless of when or how often Delay is called.
+		frac := float64(splitmix64(b.Seed, uint64(attempt))>>11) / float64(1<<53)
+		d *= 1 - jitter + 2*jitter*frac
+	}
+	if d > float64(max) {
+		d = float64(max)
+	}
+	if d < 1 {
+		d = 1
+	}
+	return time.Duration(d)
+}
+
+// splitmix64 mixes a seed and counter into a uniform 64-bit value.
+func splitmix64(seed, n uint64) uint64 {
+	z := seed + 0x9e3779b97f4a7c15*(n+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
