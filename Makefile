@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check chaos bench fuzz
+.PHONY: build test check chaos bench fuzz fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,7 @@ check:
 	$(GO) test -race -shuffle=on ./...
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(MAKE) chaos
+	$(MAKE) fuzz-smoke
 
 # chaos is the fault-injection tier: the seeded chaos scenario, the faulty-
 # provider regression tests and the breaker/backoff unit tests, run twice
@@ -31,3 +32,13 @@ bench:
 
 fuzz:
 	$(GO) test -fuzz FuzzReadFrame -fuzztime 30s ./internal/ws
+
+# fuzz-smoke runs every fuzzer briefly — enough to catch parser
+# regressions on fresh mutations in CI without the cost of a long fuzz
+# campaign. -fuzz must match exactly one fuzzer per invocation.
+fuzz-smoke:
+	$(GO) test -fuzz='^FuzzReadFrame$$' -fuzztime 10s ./internal/ws
+	$(GO) test -fuzz='^FuzzParseDataInputs$$' -fuzztime 10s ./internal/ogc/wps
+	$(GO) test -fuzz='^FuzzParseExecuteDocument$$' -fuzztime 10s ./internal/ogc/wps
+	$(GO) test -fuzz='^FuzzParseFlotJSON$$' -fuzztime 10s ./internal/timeseries
+	$(GO) test -fuzz='^FuzzReadCSV$$' -fuzztime 10s ./internal/timeseries

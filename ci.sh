@@ -13,3 +13,11 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 # deterministic and data-race free.
 go test -race -shuffle=on -count=2 -run 'Chaos|Fault|Breaker|Backoff|Suspend' \
 	./internal/loadbalancer ./internal/cloud/... ./internal/broker ./internal/resilience
+# Fuzz smoke tier: run every fuzzer briefly on fresh mutations — catches
+# parser regressions the seeded corpus alone would miss. One -fuzz
+# pattern per invocation (go test requires it to match exactly one).
+go test -fuzz='^FuzzReadFrame$' -fuzztime 10s ./internal/ws
+go test -fuzz='^FuzzParseDataInputs$' -fuzztime 10s ./internal/ogc/wps
+go test -fuzz='^FuzzParseExecuteDocument$' -fuzztime 10s ./internal/ogc/wps
+go test -fuzz='^FuzzParseFlotJSON$' -fuzztime 10s ./internal/timeseries
+go test -fuzz='^FuzzReadCSV$' -fuzztime 10s ./internal/timeseries

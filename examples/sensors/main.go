@@ -47,7 +47,8 @@ func run() error {
 	}
 
 	// Subscribe to the live feed before starting, then play 6 hours.
-	feed := network.Subscribe()
+	feed, unsubscribe := network.Subscribe()
+	defer unsubscribe()
 	network.Start()
 	defer network.Stop()
 	clk.Advance(6 * time.Hour)

@@ -27,8 +27,9 @@
 //   - The pending queue is deduplicated: a session is never enqueued
 //     twice, and PendingCount() is O(1).
 //
-// Push delivery coalesces per session: when a subscriber falls behind, the
-// oldest queued update is discarded (and counted in DroppedUpdates) so the
+// Push delivery rides the internal/push hub on per-session topics and
+// coalesces per session: when a subscriber falls behind, the oldest
+// queued update is discarded (and counted in DroppedUpdates) so the
 // newest session state — notably an UpdateMigrated redirect — always
 // arrives. A dropped update therefore means "superseded", never "the
 // browser missed the final state".
@@ -44,6 +45,7 @@ import (
 
 	"evop/internal/clock"
 	"evop/internal/cloud"
+	"evop/internal/push"
 )
 
 // Common errors.
@@ -205,13 +207,16 @@ type Broker struct {
 	retainedByID map[string]*Session
 
 	placer Placer
-	subs   map[string]chan Update
+	// hub delivers session updates on per-session topics with bounded,
+	// coalescing, spin-free queues; subs tracks each session's single
+	// subscription so repeated Subscribe calls share one channel.
+	hub  *push.Hub[Update]
+	subs map[string]*push.Subscription[Update]
 	// bound tracks which instance each active session is on, to release
 	// session slots on close/migrate.
 	bound map[string]*cloud.Instance
 
 	// stats
-	dropped     int
 	closedTotal int
 }
 
@@ -250,7 +255,8 @@ func NewWithOptions(clk clock.Clock, opts Options) (*Broker, error) {
 		queued:       make(map[string]bool),
 		suspended:    make(map[string]bool),
 		retainedByID: make(map[string]*Session),
-		subs:         make(map[string]chan Update),
+		hub:          push.NewHub[Update](push.DefaultShards),
+		subs:         make(map[string]*push.Subscription[Update]),
 		bound:        make(map[string]*cloud.Instance),
 	}, nil
 }
@@ -493,8 +499,10 @@ func (b *Broker) Disconnect(sessionID string) error {
 	s.State = Closed
 	b.closedTotal++
 	b.pushLocked(sessionID, Update{Kind: UpdateClosed, Session: *s, At: b.clk.Now()})
-	if ch, ok := b.subs[sessionID]; ok {
-		close(ch)
+	if sub, ok := b.subs[sessionID]; ok {
+		// Cancel closes the channel after the terminal UpdateClosed above
+		// was enqueued, so the subscriber drains it and then sees EOF.
+		sub.Cancel()
 		delete(b.subs, sessionID)
 	}
 	b.evictLocked(s)
@@ -542,35 +550,26 @@ func (b *Broker) Subscribe(sessionID string) (<-chan Update, error) {
 		}
 		return nil, fmt.Errorf("subscribe %s: %w", sessionID, ErrNoSession)
 	}
-	ch, ok := b.subs[sessionID]
+	sub, ok := b.subs[sessionID]
 	if !ok {
-		ch = make(chan Update, b.subBuf)
-		b.subs[sessionID] = ch
+		var err error
+		sub, err = b.hub.Subscribe(b.subBuf, push.TopicSession(sessionID))
+		if err != nil {
+			return nil, fmt.Errorf("subscribe %s: %w", sessionID, err)
+		}
+		b.subs[sessionID] = sub
 	}
-	return ch, nil
+	return sub.C(), nil
 }
 
-// pushLocked delivers an update, coalescing per session: when the
-// subscriber's buffer is full the oldest queued update is discarded so the
-// newest session state (e.g. a migration redirect) is never lost.
+// pushLocked delivers an update on the session's topic. The hub
+// coalesces per subscriber: a full buffer evicts the oldest queued
+// update (counted in DroppedUpdates) so the newest session state — e.g.
+// a migration redirect — is never lost, and a publisher never spins
+// against an actively draining reader (one eviction makes room, and the
+// per-subscription lock keeps it that way).
 func (b *Broker) pushLocked(sessionID string, u Update) {
-	ch, ok := b.subs[sessionID]
-	if !ok {
-		return
-	}
-	for {
-		select {
-		case ch <- u:
-			return
-		default:
-		}
-		select {
-		case <-ch:
-			b.dropped++
-		default:
-			// The subscriber drained concurrently; retry the send.
-		}
-	}
+	b.hub.Publish(u, push.TopicSession(sessionID))
 }
 
 // Session returns a snapshot of one session. Recently closed sessions
@@ -671,7 +670,12 @@ func (b *Broker) ClosedTotal() int {
 // subscribers. A dropped update is stale state the browser no longer
 // needs, not a lost redirect: the latest update is always delivered.
 func (b *Broker) DroppedUpdates() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.dropped
+	return int(b.hub.Stats().Coalesced)
+}
+
+// PushStats returns the session-update hub's counters (subscribers,
+// published, delivered, coalesced; per shard) for the /metrics push
+// section.
+func (b *Broker) PushStats() push.Stats {
+	return b.hub.Stats()
 }

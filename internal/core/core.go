@@ -32,6 +32,7 @@ import (
 	"evop/internal/modellib"
 	"evop/internal/ogc/sos"
 	"evop/internal/ogc/wps"
+	"evop/internal/push"
 	"evop/internal/resilience"
 	"evop/internal/rest"
 	"evop/internal/runcache"
@@ -899,6 +900,19 @@ type InfraMetrics struct {
 	// and failure counters, cross-provider failovers, the LB's retry
 	// bookkeeping and the broker's suspended-session counts.
 	Resilience ResilienceMetrics `json:"resilience"`
+	// Push reports the live-telemetry fan-out hubs: subscribers,
+	// published, delivered and coalesced counts, per shard, for both the
+	// sensor-reading hub and the broker's session-update hub.
+	Push PushMetrics `json:"push"`
+}
+
+// PushMetrics is the live fan-out slice of the operational snapshot.
+type PushMetrics struct {
+	// Sensors is the sensor network's reading hub (feeds /ws/live).
+	Sensors push.Stats `json:"sensors"`
+	// Sessions is the Resource Broker's session-update hub (feeds
+	// /ws/session).
+	Sessions push.Stats `json:"sessions"`
 }
 
 // ResilienceMetrics is the fault-handling slice of the operational
@@ -931,6 +945,10 @@ func (o *Observatory) Metrics() InfraMetrics {
 		Sensors:        len(o.Network.Sensors()),
 		WorkflowRuns:   len(o.Workflows.Runs()),
 		ModelRunCache:  o.runs.Stats(),
+		Push: PushMetrics{
+			Sensors:  o.Network.PushStats(),
+			Sessions: o.Broker.PushStats(),
+		},
 		Resilience: ResilienceMetrics{
 			Providers:         o.Multi.Health(),
 			Failovers:         o.Multi.Failovers(),

@@ -175,6 +175,11 @@ func (s *Service) getObservation(w http.ResponseWriter, id, fromRaw, toRaw strin
 			return
 		}
 	}
+	if from.After(to) {
+		writeException(w, http.StatusBadRequest, "InvalidParameterValue",
+			"from must not be after to")
+		return
+	}
 	obs, err := s.network.History(id, from, to)
 	if err != nil {
 		writeException(w, http.StatusNotFound, "InvalidParameterValue", err.Error())

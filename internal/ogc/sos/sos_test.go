@@ -159,3 +159,44 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+func TestGetObservationWindowOrder(t *testing.T) {
+	srv, _ := testService(t)
+	at := func(d time.Duration) string { return epoch.Add(d).Format(time.RFC3339) }
+	for _, tc := range []struct {
+		name     string
+		from, to string
+		code     int
+		want     int // observation count, checked only on 200
+	}{
+		{"inverted", at(3 * time.Hour), at(time.Hour), http.StatusBadRequest, 0},
+		{"equal", at(2 * time.Hour), at(2 * time.Hour), http.StatusOK, 0},
+		{"ordered", at(time.Hour), at(2 * time.Hour), http.StatusOK, 1},
+		{"open-ended from", at(time.Hour), "", http.StatusOK, 6},
+		{"open-ended to", "", at(2 * time.Hour), http.StatusOK, 1},
+		{"inverted open from", at(48 * time.Hour), "", http.StatusBadRequest, 0},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			u := srv.URL + "?service=SOS&request=GetObservation&procedure=morland-rain-1"
+			if tc.from != "" {
+				u += "&from=" + tc.from
+			}
+			if tc.to != "" {
+				u += "&to=" + tc.to
+			}
+			code, body := get(t, u)
+			if code != tc.code {
+				t.Fatalf("status = %d, want %d\n%s", code, tc.code, body)
+			}
+			if code == http.StatusBadRequest {
+				if !strings.Contains(body, "InvalidParameterValue") {
+					t.Fatalf("missing InvalidParameterValue exception:\n%s", body)
+				}
+				return
+			}
+			if got := strings.Count(body, "<om:samplingTime>"); got != tc.want {
+				t.Fatalf("observations = %d, want %d\n%s", got, tc.want, body)
+			}
+		})
+	}
+}

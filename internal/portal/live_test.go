@@ -1,0 +1,121 @@
+package portal
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"evop/internal/ws"
+)
+
+func (f *fixture) dialLive(t *testing.T, topics string) *ws.Conn {
+	t.Helper()
+	url := "ws" + strings.TrimPrefix(f.srv.URL, "http") + "/ws/live?topics=" + topics
+	conn, err := ws.Dial(url)
+	if err != nil {
+		t.Fatalf("Dial %s: %v", topics, err)
+	}
+	return conn
+}
+
+func TestLiveSocketStreamsReadings(t *testing.T) {
+	f := newFixture(t)
+	conn := f.dialLive(t, "sensor/morland-level-1")
+	defer conn.Close(ws.CloseNormal, "")
+
+	// Sampling happens on the simulated clock; 30 minutes covers two
+	// 15-minute level samples.
+	f.clk.Advance(30 * time.Minute)
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for i := 0; i < 2; i++ {
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			t.Fatalf("ReadMessage %d: %v", i, err)
+		}
+		if msg.Op != ws.OpText {
+			t.Fatalf("op = %v, want text", msg.Op)
+		}
+		var r struct {
+			SensorID string    `json:"sensorId"`
+			Kind     int       `json:"kind"`
+			Time     time.Time `json:"time"`
+			Value    float64   `json:"value"`
+		}
+		if err := json.Unmarshal(msg.Payload, &r); err != nil {
+			t.Fatalf("unmarshal %q: %v", msg.Payload, err)
+		}
+		if r.SensorID != "morland-level-1" {
+			t.Fatalf("sensorId = %q, want morland-level-1", r.SensorID)
+		}
+		if r.Time.IsZero() {
+			t.Fatalf("reading missing timestamp: %s", msg.Payload)
+		}
+	}
+}
+
+func TestLiveSocketCatchmentTopic(t *testing.T) {
+	f := newFixture(t)
+	conn := f.dialLive(t, "catchment/morland")
+	defer conn.Close(ws.CloseNormal, "")
+
+	f.clk.Advance(time.Hour)
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	msg, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatalf("ReadMessage: %v", err)
+	}
+	var r struct {
+		SensorID string `json:"sensorId"`
+	}
+	if err := json.Unmarshal(msg.Payload, &r); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !strings.HasPrefix(r.SensorID, "morland-") {
+		t.Fatalf("sensorId = %q, want a morland sensor", r.SensorID)
+	}
+}
+
+func TestLiveSocketRejectsBadTopics(t *testing.T) {
+	f := newFixture(t)
+	for _, topics := range []string{
+		"",
+		"bogus",
+		"sensor/ghost",
+		"catchment/ghost",
+		"sensors,sensor/ghost",
+	} {
+		path := "/ws/live"
+		if topics != "" {
+			path += "?topics=" + topics
+		}
+		code, body := f.get(t, path)
+		if code != http.StatusBadRequest {
+			t.Errorf("topics=%q: status = %d, want 400 (%s)", topics, code, body)
+		}
+	}
+}
+
+func TestLiveSocketClosesOnShutdown(t *testing.T) {
+	f := newFixture(t)
+	conn := f.dialLive(t, "sensors")
+	defer conn.Close(ws.CloseNormal, "")
+
+	// Stop closes every hub subscription; the portal must complete a
+	// clean going-away close handshake rather than drop the TCP stream.
+	f.obs.Stop()
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	for {
+		_, err := conn.ReadMessage()
+		if errors.Is(err, ws.ErrClosed) {
+			return
+		}
+		if err != nil {
+			t.Fatalf("ReadMessage err = %v, want ErrClosed", err)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -30,6 +31,7 @@ import (
 	"evop/internal/core"
 	"evop/internal/geo"
 	"evop/internal/hydro/topmodel"
+	"evop/internal/push"
 	"evop/internal/rest"
 	"evop/internal/scenario"
 	"evop/internal/sensor"
@@ -63,6 +65,12 @@ type Portal struct {
 	panics    atomic.Int64
 	epMu      sync.Mutex
 	endpoints map[string]*endpointStats
+
+	// liveWG counts in-flight /ws/live handlers. http.Server.Shutdown
+	// forgets hijacked connections, so ServeContext waits on this group
+	// to let each live socket flush its going-away close frame before
+	// the process exits.
+	liveWG sync.WaitGroup
 }
 
 var _ http.Handler = (*Portal)(nil)
@@ -97,6 +105,7 @@ func New(obs *core.Observatory) (*Portal, error) {
 	p.handleFunc("/sessions/connect", p.sessionConnect)
 	p.handleFunc("/sessions/", p.sessionGet)
 	p.handleFunc("/ws/session", p.sessionSocket)
+	p.handleFunc("/ws/live", p.liveSocket)
 	p.handle("/workflows", obs.Workflows)
 	p.handle("/workflows/", obs.Workflows)
 	return p, nil
@@ -129,6 +138,7 @@ const indexHTML = `<!DOCTYPE html>
 <li>POST /workflows &mdash; composed, replayable experiments</li>
 <li><a href="/metrics">/metrics</a> &mdash; infrastructure snapshot</li>
 <li>WS /ws/session &mdash; Resource Broker session channel</li>
+<li>WS /ws/live?topics=sensor/&lt;id&gt;,catchment/&lt;id&gt;,sensors &mdash; live sensor telemetry push</li>
 </ul>
 </body></html>
 `
@@ -529,6 +539,97 @@ func (p *Portal) sessionSocket(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// liveQueue is the per-connection buffer of the live telemetry stream;
+// a stalled browser coalesces (oldest reading evicted) rather than
+// stalling the hub or growing without bound.
+const liveQueue = 64
+
+// parseLiveTopics validates a comma-separated ?topics= list against the
+// hub's namespaces and the deployed assets, so a typo answers 400
+// before the WebSocket upgrade instead of a silent, empty stream.
+func (p *Portal) parseLiveTopics(raw string) ([]string, error) {
+	if raw == "" {
+		return nil, errors.New("topics required: sensors, sensor/<id> or catchment/<id>")
+	}
+	var topics []string
+	for _, t := range strings.Split(raw, ",") {
+		t = strings.TrimSpace(t)
+		switch {
+		case t == push.TopicAllSensors:
+		case strings.HasPrefix(t, "sensor/"):
+			if _, err := p.obs.Network.Get(strings.TrimPrefix(t, "sensor/")); err != nil {
+				return nil, fmt.Errorf("unknown sensor in topic %q", t)
+			}
+		case strings.HasPrefix(t, "catchment/"):
+			if _, ok := p.obs.Catchments.Get(strings.TrimPrefix(t, "catchment/")); !ok {
+				return nil, fmt.Errorf("unknown catchment in topic %q", t)
+			}
+		default:
+			return nil, fmt.Errorf("bad topic %q: want sensors, sensor/<id> or catchment/<id>", t)
+		}
+		topics = append(topics, t)
+	}
+	return topics, nil
+}
+
+// liveSocket upgrades to a WebSocket and streams live sensor readings
+// for the requested topics as JSON text messages — the paper's
+// "event-based duplex, no polling" data path, generalised from session
+// updates to telemetry: GET /ws/live?topics=sensor/<id>,catchment/<id>.
+// The stream ends with a going-away close when the observatory shuts
+// down (Network.Stop closes every hub subscription).
+func (p *Portal) liveSocket(w http.ResponseWriter, r *http.Request) {
+	p.liveWG.Add(1)
+	defer p.liveWG.Done()
+	topics, err := p.parseLiveTopics(r.URL.Query().Get("topics"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	sub, err := p.obs.Network.SubscribeTopics(liveQueue, topics...)
+	if err != nil {
+		// Only a network already stopped refuses subscriptions.
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": err.Error()})
+		return
+	}
+	conn, err := ws.Upgrade(w, r)
+	if err != nil {
+		sub.Cancel()
+		return // Upgrade already wrote the HTTP error
+	}
+
+	done := make(chan struct{})
+	// Reader: detect client close; any inbound message is ignored.
+	go func() {
+		defer close(done)
+		for {
+			if _, err := conn.ReadMessage(); err != nil {
+				return
+			}
+		}
+	}()
+	// Writer: forward readings until the hub or the socket ends.
+	for {
+		select {
+		case reading, ok := <-sub.C():
+			if !ok {
+				conn.Close(ws.CloseGoingAway, "observatory shutting down")
+				<-done
+				return
+			}
+			payload, err := json.Marshal(reading)
+			if err != nil || conn.WriteMessage(ws.OpText, payload) != nil {
+				sub.Cancel()
+				<-done
+				return
+			}
+		case <-done:
+			sub.Cancel()
+			return
+		}
+	}
+}
+
 func initialKind(s broker.Session) broker.UpdateKind {
 	if s.State == broker.Active {
 		return broker.UpdateAssigned
@@ -547,4 +648,3 @@ func (p *Portal) sendSession(conn *ws.Conn, u broker.Update) bool {
 	}
 	return conn.WriteMessage(ws.OpText, payload) == nil
 }
-

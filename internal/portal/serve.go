@@ -53,6 +53,16 @@ func (p *Portal) ServeContext(ctx context.Context, ln net.Listener) error {
 	if derr := p.obs.Shutdown(shutCtx); err == nil {
 		err = derr
 	}
+	// Live sockets are hijacked, so srv.Shutdown no longer tracks them.
+	// The observatory shutdown above closed their hub subscriptions;
+	// give each handler until the grace deadline to write its
+	// going-away close frame before the process exits.
+	liveDone := make(chan struct{})
+	go func() { p.liveWG.Wait(); close(liveDone) }()
+	select {
+	case <-liveDone:
+	case <-shutCtx.Done():
+	}
 	if err != nil {
 		return fmt.Errorf("portal shutdown: %w", err)
 	}

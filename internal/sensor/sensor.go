@@ -12,11 +12,13 @@ package sensor
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"evop/internal/clock"
 	"evop/internal/geo"
+	"evop/internal/push"
 	"evop/internal/timeseries"
 )
 
@@ -138,15 +140,23 @@ type Frame struct {
 type Network struct {
 	clk clock.Clock
 
+	// hub fans readings out to live subscribers. Every reading is
+	// published on its sensor topic, its catchment topic and the
+	// all-sensors firehose, so the portal's /ws/live endpoint and the
+	// plain Subscribe feed ride the same delivery path.
+	hub *push.Hub[Reading]
+
 	mu      sync.Mutex
 	sensors map[string]Sensor
 	order   []string
 	history map[string]*timeseries.Irregular
 	frames  map[string][]Frame
-	subs    []chan Reading
 	running bool
 	stops   []func() bool
-	dropped int
+	// droppedBase carries the coalesced-delivery total across hub
+	// generations (Stop closes every subscription and installs a fresh
+	// hub so the network can be restarted).
+	droppedBase uint64
 	// newest is the most recent reading across the whole network,
 	// maintained on ingest so "what time is it, by the data?" queries
 	// (the portal's now-fallback on every series/fusion request) are O(1)
@@ -162,6 +172,7 @@ func NewNetwork(clk clock.Clock) (*Network, error) {
 	}
 	return &Network{
 		clk:     clk,
+		hub:     push.NewHub[Reading](push.DefaultShards),
 		sensors: make(map[string]Sensor),
 		history: make(map[string]*timeseries.Irregular),
 		frames:  make(map[string][]Frame),
@@ -256,19 +267,13 @@ func (n *Network) sample(id string) {
 	if !n.hasNewest || !r.Time.Before(n.newest.Time) {
 		n.newest, n.hasNewest = r, true
 	}
-	subs := make([]chan Reading, len(n.subs))
-	copy(subs, n.subs)
+	hub := n.hub
 	n.mu.Unlock()
 
-	for _, ch := range subs {
-		select {
-		case ch <- r:
-		default:
-			n.mu.Lock()
-			n.dropped++
-			n.mu.Unlock()
-		}
-	}
+	// Fan out past the network lock: hub delivery is bounded and
+	// non-blocking, but keeping it off n.mu means a storm of slow
+	// subscribers can never delay the next sensor sample.
+	hub.Publish(r, push.TopicSensor(r.SensorID), push.TopicCatchment(s.CatchmentID), push.TopicAllSensors)
 }
 
 // synthFrame builds a deterministic opaque frame payload.
@@ -281,32 +286,77 @@ func synthFrame(id string, at time.Time) []byte {
 	return content
 }
 
-// Stop halts sampling.
+// Stop halts sampling and closes every subscriber channel, so feed
+// consumers observe end-of-stream instead of blocking forever on a dead
+// network. The network can be restarted: a fresh hub replaces the closed
+// one, and Subscribe works again (cumulative drop counts are preserved).
 func (n *Network) Stop() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.running = false
 	for _, stop := range n.stops {
 		stop()
 	}
 	n.stops = nil
+	old := n.hub
+	n.droppedBase += old.Stats().Coalesced
+	n.hub = push.NewHub[Reading](push.DefaultShards)
+	n.mu.Unlock()
+	// Close subscriptions outside n.mu: CloseAll takes per-subscription
+	// locks that publishers (which never hold n.mu) also take.
+	old.CloseAll()
 }
 
-// Subscribe returns a channel receiving every new reading (all sensors).
-// Slow subscribers drop readings rather than stall the network.
-func (n *Network) Subscribe() <-chan Reading {
-	ch := make(chan Reading, 64)
+// subscriberQueue is the per-subscriber buffer of the plain Subscribe
+// feed; ~an hour of the standard LEFT deployment's readings.
+const subscriberQueue = 64
+
+// Subscribe returns a channel receiving every new reading (all sensors)
+// and a function that unsubscribes, closing the channel. Slow
+// subscribers coalesce: the oldest queued reading is dropped so the
+// newest always arrives. Stop also closes the channel.
+func (n *Network) Subscribe() (<-chan Reading, func()) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.subs = append(n.subs, ch)
-	return ch
+	hub := n.hub
+	n.mu.Unlock()
+	sub, err := hub.Subscribe(subscriberQueue, push.TopicAllSensors)
+	if err != nil {
+		// Only a concurrent Stop can close the hub mid-subscribe; hand
+		// back an already-closed feed, matching a subscribe that won the
+		// race and was immediately closed by Stop.
+		ch := make(chan Reading)
+		close(ch)
+		return ch, func() {}
+	}
+	return sub.C(), sub.Cancel
 }
 
-// Dropped reports readings dropped on slow subscriber channels.
+// SubscribeTopics returns a bounded subscription for explicit topics
+// (push.TopicSensor, push.TopicCatchment, push.TopicAllSensors) — the
+// portal's /ws/live endpoint builds on this. queue <= 0 selects the
+// hub default.
+func (n *Network) SubscribeTopics(queue int, topics ...string) (*push.Subscription[Reading], error) {
+	n.mu.Lock()
+	hub := n.hub
+	n.mu.Unlock()
+	return hub.Subscribe(queue, topics...)
+}
+
+// Dropped reports readings dropped (coalesced away) on slow subscriber
+// queues, across the network's lifetime.
 func (n *Network) Dropped() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.dropped
+	return int(n.droppedBase + n.hub.Stats().Coalesced)
+}
+
+// PushStats returns the live-feed hub's counters (subscribers,
+// published, delivered, coalesced; per shard) for the /metrics push
+// section.
+func (n *Network) PushStats() push.Stats {
+	n.mu.Lock()
+	hub := n.hub
+	n.mu.Unlock()
+	return hub.Stats()
 }
 
 // Latest returns the most recent reading of a sensor.
@@ -374,14 +424,22 @@ func (n *Network) FrameNearest(id string, t time.Time) (Frame, error) {
 	if len(frames) == 0 {
 		return Frame{}, fmt.Errorf("%s: %w", id, ErrNoData)
 	}
-	best := frames[0]
-	bestD := absDur(t.Sub(best.Time))
-	for _, f := range frames[1:] {
-		if d := absDur(t.Sub(f.Time)); d < bestD {
-			best, bestD = f, d
-		}
+	// Frames are appended in sample order, and the clock is monotonic,
+	// so the slice is time-ordered: binary-search the first frame at or
+	// after t, then the nearest is that frame or its predecessor.
+	i := sort.Search(len(frames), func(i int) bool {
+		return !frames[i].Time.Before(t)
+	})
+	switch i {
+	case 0:
+		return frames[0], nil
+	case len(frames):
+		return frames[len(frames)-1], nil
 	}
-	return best, nil
+	if absDur(t.Sub(frames[i-1].Time)) <= absDur(frames[i].Time.Sub(t)) {
+		return frames[i-1], nil
+	}
+	return frames[i], nil
 }
 
 func absDur(d time.Duration) time.Duration {

@@ -192,7 +192,8 @@ func TestSubscribeLiveFeed(t *testing.T) {
 	clk := clock.NewSimulated(epoch)
 	n, _ := NewNetwork(clk)
 	n.Add(levelSensor("lvl"))
-	ch := n.Subscribe()
+	ch, cancel := n.Subscribe()
+	defer cancel()
 	n.Start()
 	defer n.Stop()
 	clk.Advance(15 * time.Minute)
@@ -212,12 +213,110 @@ func TestSubscribeSlowConsumerDrops(t *testing.T) {
 	s := levelSensor("lvl")
 	s.Interval = time.Minute
 	n.Add(s)
-	n.Subscribe() // never drained
+	ch, cancel := n.Subscribe() // never drained
+	defer cancel()
 	n.Start()
 	defer n.Stop()
 	clk.Advance(100 * time.Minute) // 100 readings into a 64-slot buffer
 	if n.Dropped() == 0 {
 		t.Fatal("expected drops with stalled subscriber")
+	}
+	// Coalescing keeps the newest reading, not the oldest: the queue must
+	// end with the final sample even though earlier ones were evicted.
+	var last Reading
+	for drained := false; !drained; {
+		select {
+		case r := <-ch:
+			last = r
+		default:
+			drained = true
+		}
+	}
+	if !last.Time.Equal(epoch.Add(100 * time.Minute)) {
+		t.Fatalf("newest queued reading at %v, want %v", last.Time, epoch.Add(100*time.Minute))
+	}
+}
+
+// TestSubscribeStopCloses is the leak regression for the old ad-hoc
+// subscriber slice: Stop must close every subscriber channel (no reader
+// blocks forever on a dead network), unsubscribe must deregister, and
+// stopping must leave no pending timers behind.
+func TestSubscribeStopCloses(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	n, _ := NewNetwork(clk)
+	n.Add(levelSensor("lvl"))
+	kept, cancelKept := n.Subscribe()
+	gone, cancelGone := n.Subscribe()
+	defer cancelKept()
+	cancelGone()
+	if _, ok := <-gone; ok {
+		t.Fatal("unsubscribed channel not closed")
+	}
+	if got := n.PushStats().Subscribers; got != 1 {
+		t.Fatalf("subscribers after unsubscribe = %d, want 1", got)
+	}
+	n.Start()
+	clk.Advance(30 * time.Minute)
+	n.Stop()
+	// Drain the two buffered readings, then the channel must be closed.
+	for i := 0; i < 2; i++ {
+		if _, ok := <-kept; !ok {
+			t.Fatalf("channel closed after %d readings, want 2 buffered", i)
+		}
+	}
+	if _, ok := <-kept; ok {
+		t.Fatal("subscriber channel not closed by Stop")
+	}
+	if got := n.PushStats().Subscribers; got != 0 {
+		t.Fatalf("subscribers after Stop = %d, want 0", got)
+	}
+	if clk.PendingTimers() != 0 {
+		t.Fatalf("pending timers after Stop = %d", clk.PendingTimers())
+	}
+	// Double-cancel after Stop must be safe.
+	cancelKept()
+	// The network restarts cleanly: new subscriptions work and readings
+	// flow again.
+	ch2, cancel2 := n.Subscribe()
+	defer cancel2()
+	n.Start()
+	defer n.Stop()
+	clk.Advance(15 * time.Minute)
+	if _, ok := <-ch2; !ok {
+		t.Fatal("no reading after restart")
+	}
+}
+
+// TestSubscribeTopics pins the topic routing the portal's /ws/live
+// endpoint relies on: per-sensor and per-catchment topics see only
+// their own readings, delivered once even when topics overlap.
+func TestSubscribeTopics(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	n, _ := NewNetwork(clk)
+	a := levelSensor("lvl-a")
+	b := levelSensor("lvl-b")
+	b.CatchmentID = "eden"
+	n.Add(a)
+	n.Add(b)
+	sub, err := n.SubscribeTopics(16, "sensor/lvl-a", "catchment/morland")
+	if err != nil {
+		t.Fatalf("SubscribeTopics: %v", err)
+	}
+	defer sub.Cancel()
+	n.Start()
+	defer n.Stop()
+	clk.Advance(15 * time.Minute) // one reading per sensor
+	var got []Reading
+	for drained := false; !drained; {
+		select {
+		case r := <-sub.C():
+			got = append(got, r)
+		default:
+			drained = true
+		}
+	}
+	if len(got) != 1 || got[0].SensorID != "lvl-a" {
+		t.Fatalf("topic subscriber saw %+v, want exactly lvl-a's reading once", got)
 	}
 }
 
@@ -250,6 +349,43 @@ func TestWebcamFrames(t *testing.T) {
 	}
 	if _, err := n.FrameNearest("lvl-missing", epoch); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("FrameNearest unknown err = %v", err)
+	}
+}
+
+// TestFrameNearestEdges pins the binary search against the boundaries
+// the old linear scan handled implicitly: before the first frame, after
+// the last, an exact hit, and an equidistant tie (earlier frame wins,
+// as the linear scan's strict < did).
+func TestFrameNearestEdges(t *testing.T) {
+	clk := clock.NewSimulated(epoch)
+	n, _ := NewNetwork(clk)
+	n.Add(camSensor("cam"))
+	n.Start()
+	defer n.Stop()
+	clk.Advance(6 * time.Hour) // frames at 1h..6h
+
+	tests := []struct {
+		name string
+		at   time.Time
+		want time.Duration // frame offset from epoch
+	}{
+		{"before first", epoch, time.Hour},
+		{"after last", epoch.Add(24 * time.Hour), 6 * time.Hour},
+		{"exact hit", epoch.Add(3 * time.Hour), 3 * time.Hour},
+		{"just before", epoch.Add(3*time.Hour - time.Minute), 3 * time.Hour},
+		{"just after", epoch.Add(3*time.Hour + time.Minute), 3 * time.Hour},
+		{"tie goes earlier", epoch.Add(3*time.Hour + 30*time.Minute), 3 * time.Hour},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := n.FrameNearest("cam", tc.at)
+			if err != nil {
+				t.Fatalf("FrameNearest: %v", err)
+			}
+			if !f.Time.Equal(epoch.Add(tc.want)) {
+				t.Fatalf("nearest at %v, want %v", f.Time, epoch.Add(tc.want))
+			}
+		})
 	}
 }
 

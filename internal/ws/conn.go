@@ -186,8 +186,17 @@ func (c *Conn) ReadMessage() (Message, error) {
 	}
 }
 
-// Ping sends a ping frame with the given payload (<=125 bytes).
+// maxControlPayload is RFC 6455 Section 5.5's bound on control-frame
+// payloads; a close frame's reason shares it with the 2-byte status.
+const maxControlPayload = 125
+
+// Ping sends a ping frame with the given payload. Payloads above RFC
+// 6455's 125-byte control-frame limit are rejected with ErrProtocol
+// before anything reaches the wire.
 func (c *Conn) Ping(payload []byte) error {
+	if len(payload) > maxControlPayload {
+		return fmt.Errorf("ping payload %d > %d: %w", len(payload), maxControlPayload, ErrProtocol)
+	}
 	return c.writeControl(OpPing, payload)
 }
 
@@ -212,7 +221,11 @@ const (
 )
 
 // Close performs the closing handshake: sends a close frame with the
-// given status code and closes the underlying connection.
+// given status code and closes the underlying connection. Reasons
+// longer than RFC 6455 allows (125 payload bytes minus the 2-byte
+// status) are truncated at a rune boundary so the frame stays valid
+// UTF-8, rather than emitting an oversized control frame the peer must
+// reject.
 func (c *Conn) Close(code uint16, reason string) error {
 	c.stateMu.Lock()
 	if c.closed {
@@ -223,6 +236,7 @@ func (c *Conn) Close(code uint16, reason string) error {
 	c.closeSent = true
 	c.stateMu.Unlock()
 	if !alreadySent {
+		reason = truncateReason(reason, maxControlPayload-2)
 		payload := make([]byte, 2+len(reason))
 		binary.BigEndian.PutUint16(payload, code)
 		copy(payload[2:], reason)
@@ -232,6 +246,21 @@ func (c *Conn) Close(code uint16, reason string) error {
 		c.writeMu.Unlock()
 	}
 	return c.abort()
+}
+
+// truncateReason clips a close reason to max bytes without splitting a
+// UTF-8 sequence (close payloads must be valid UTF-8 after the status).
+func truncateReason(reason string, max int) string {
+	if len(reason) <= max {
+		return reason
+	}
+	cut := max
+	// Back up over any continuation bytes so the cut lands on a rune
+	// boundary; a rune is at most 4 bytes.
+	for cut > 0 && cut > max-3 && reason[cut]&0xC0 == 0x80 {
+		cut--
+	}
+	return reason[:cut]
 }
 
 // abort tears down the transport without a handshake.

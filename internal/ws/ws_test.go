@@ -2,6 +2,7 @@ package ws
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"math/rand"
 	"net"
@@ -12,6 +13,7 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+	"unicode/utf8"
 )
 
 func TestFrameRoundTripProperty(t *testing.T) {
@@ -385,5 +387,102 @@ func TestOpcodeString(t *testing.T) {
 	}
 	if !OpClose.IsControl() || OpText.IsControl() {
 		t.Fatal("IsControl wrong")
+	}
+}
+
+func TestCloseReasonTruncatedToControlLimit(t *testing.T) {
+	// A close reason longer than RFC 6455's 125-byte control-frame limit
+	// must be truncated, not sent as an oversized (invalid) frame.
+	for _, tc := range []struct {
+		name   string
+		reason string
+	}{
+		{"ascii", strings.Repeat("x", 200)},
+		{"multibyte", strings.Repeat("é", 100)}, // 200 bytes of 2-byte runes
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			server, client := net.Pipe()
+			conn := newConn(server, false, 1)
+			done := make(chan error, 1)
+			go func() { done <- conn.Close(CloseNormal, tc.reason) }()
+
+			f, err := readFrame(client, 0)
+			if err != nil {
+				t.Fatalf("readFrame: %v", err)
+			}
+			if err := <-done; err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if f.opcode != OpClose {
+				t.Fatalf("opcode = %v, want close", f.opcode)
+			}
+			if len(f.payload) > maxControlPayload {
+				t.Fatalf("close payload %d bytes exceeds control limit %d",
+					len(f.payload), maxControlPayload)
+			}
+			if got := binary.BigEndian.Uint16(f.payload); got != CloseNormal {
+				t.Fatalf("status = %d, want %d", got, CloseNormal)
+			}
+			got := string(f.payload[2:])
+			if !utf8.ValidString(got) {
+				t.Fatalf("truncated reason is not valid UTF-8: %q", got)
+			}
+			if !strings.HasPrefix(tc.reason, got) || len(got) == 0 {
+				t.Fatalf("reason %q is not a prefix of the original", got)
+			}
+		})
+	}
+}
+
+func TestCloseShortReasonUnmodified(t *testing.T) {
+	server, client := net.Pipe()
+	conn := newConn(server, false, 1)
+	done := make(chan error, 1)
+	go func() { done <- conn.Close(CloseGoingAway, "bye") }()
+	f, err := readFrame(client, 0)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	<-done
+	if string(f.payload[2:]) != "bye" {
+		t.Fatalf("reason = %q, want %q", f.payload[2:], "bye")
+	}
+}
+
+func TestPingOversizedPayloadRejected(t *testing.T) {
+	server, client := net.Pipe()
+	defer client.Close()
+	conn := newConn(server, false, 1)
+
+	// 126 bytes is one over the control-frame limit: the write must be
+	// refused before touching the wire (net.Pipe would block otherwise).
+	if err := conn.Ping(make([]byte, maxControlPayload+1)); !errors.Is(err, ErrProtocol) {
+		t.Fatalf("Ping(126B) err = %v, want ErrProtocol", err)
+	}
+
+	// Exactly 125 bytes is legal and must go through.
+	go func() { readFrame(client, 0) }()
+	if err := conn.Ping(make([]byte, maxControlPayload)); err != nil {
+		t.Fatalf("Ping(125B): %v", err)
+	}
+}
+
+func TestTruncateReasonRuneBoundaries(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		max  int
+		want string
+	}{
+		{"short", 10, "short"},
+		{"exact-----", 10, "exact-----"},
+		{strings.Repeat("a", 12), 10, strings.Repeat("a", 10)},
+		{"abé", 3, "ab"},                          // 2-byte rune straddles the cut
+		{"a€€", 4, "a€"},                          // 3-byte rune straddles the cut
+		{"\U0001F30A\U0001F30A", 6, "\U0001F30A"}, // 4-byte rune straddles
+		{"", 5, ""},
+	} {
+		if got := truncateReason(tc.in, tc.max); got != tc.want {
+			t.Errorf("truncateReason(%q, %d) = %q, want %q", tc.in, tc.max, got, tc.want)
+		}
 	}
 }
