@@ -42,3 +42,4 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzParseExecuteDocument$$' -fuzztime 10s ./internal/ogc/wps
 	$(GO) test -fuzz='^FuzzParseFlotJSON$$' -fuzztime 10s ./internal/timeseries
 	$(GO) test -fuzz='^FuzzReadCSV$$' -fuzztime 10s ./internal/timeseries
+	$(GO) test -fuzz='^FuzzRollupVsNaive$$' -fuzztime 10s ./internal/timeseries

@@ -21,3 +21,6 @@ go test -fuzz='^FuzzParseDataInputs$' -fuzztime 10s ./internal/ogc/wps
 go test -fuzz='^FuzzParseExecuteDocument$' -fuzztime 10s ./internal/ogc/wps
 go test -fuzz='^FuzzParseFlotJSON$' -fuzztime 10s ./internal/timeseries
 go test -fuzz='^FuzzReadCSV$' -fuzztime 10s ./internal/timeseries
+# Differential fuzzer: the rollup index must agree with the naive scan
+# for arbitrary ingest orders, cadences and query windows.
+go test -fuzz='^FuzzRollupVsNaive$' -fuzztime 10s ./internal/timeseries

@@ -904,6 +904,9 @@ type InfraMetrics struct {
 	// published, delivered and coalesced counts, per shard, for both the
 	// sensor-reading hub and the broker's session-update hub.
 	Push PushMetrics `json:"push"`
+	// SensorRead reports the sensor read path: zero-copy series views,
+	// rollup-index aggregate queries and raw-scan fallbacks.
+	SensorRead sensor.ReadStats `json:"sensorRead"`
 }
 
 // PushMetrics is the live fan-out slice of the operational snapshot.
@@ -949,6 +952,7 @@ func (o *Observatory) Metrics() InfraMetrics {
 			Sensors:  o.Network.PushStats(),
 			Sessions: o.Broker.PushStats(),
 		},
+		SensorRead: o.Network.ReadStats(),
 		Resilience: ResilienceMetrics{
 			Providers:         o.Multi.Health(),
 			Failovers:         o.Multi.Failovers(),

@@ -1,0 +1,55 @@
+// Package httpcond implements the conditional-request plumbing shared by
+// the portal's series endpoints and the SOS service: strong entity tags
+// derived from a sensor's ingest sequence, If-None-Match evaluation and
+// 304 short-circuits. Tags are deterministic — the same store state and
+// query always hash to byte-identical ETags, so intermediary caches
+// revalidate cheaply while ingest is quiet.
+package httpcond
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Tag builds a strong entity tag by hashing the parts (typically: an
+// endpoint name, the sensor ID, its ingest sequence and the query
+// parameters that shape the response body). Identical parts always
+// produce a byte-identical tag.
+func Tag(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0}) // delimiter so ("ab","c") != ("a","bc")
+	}
+	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
+}
+
+// Match reports whether the request's If-None-Match header matches etag
+// per RFC 9110: a comma-separated candidate list, "*" matching anything,
+// weak validators compared by opaque value.
+func Match(r *http.Request, etag string) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	for _, cand := range strings.Split(inm, ",") {
+		cand = strings.TrimSpace(cand)
+		cand = strings.TrimPrefix(cand, "W/")
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply stamps the validators on a response about to be written (either
+// the full body or a 304).
+func Apply(w http.ResponseWriter, etag string, lastModified time.Time) {
+	w.Header().Set("ETag", etag)
+	if !lastModified.IsZero() {
+		w.Header().Set("Last-Modified", lastModified.UTC().Format(http.TimeFormat))
+	}
+}

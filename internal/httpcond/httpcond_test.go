@@ -1,0 +1,60 @@
+package httpcond
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestTagDeterministicAndDelimited(t *testing.T) {
+	if Tag("a", "b") != Tag("a", "b") {
+		t.Fatal("identical parts produced different tags")
+	}
+	if Tag("ab", "c") == Tag("a", "bc") {
+		t.Fatal("part boundaries not delimited")
+	}
+	tag := Tag("x")
+	if len(tag) != 18 || tag[0] != '"' || tag[len(tag)-1] != '"' {
+		t.Fatalf("tag %s is not a quoted 16-hex-digit ETag", tag)
+	}
+}
+
+func TestMatch(t *testing.T) {
+	etag := Tag("series", "lvl", "42")
+	for _, tc := range []struct {
+		header string
+		want   bool
+	}{
+		{"", false},
+		{etag, true},
+		{"W/" + etag, true},
+		{"*", true},
+		{`"deadbeefdeadbeef"`, false},
+		{`"deadbeefdeadbeef", ` + etag, true},
+	} {
+		r := httptest.NewRequest("GET", "/", nil)
+		if tc.header != "" {
+			r.Header.Set("If-None-Match", tc.header)
+		}
+		if got := Match(r, etag); got != tc.want {
+			t.Fatalf("Match(%q) = %v, want %v", tc.header, got, tc.want)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	w := httptest.NewRecorder()
+	at := time.Date(2019, 7, 1, 12, 0, 0, 0, time.UTC)
+	Apply(w, `"abc"`, at)
+	if w.Header().Get("ETag") != `"abc"` {
+		t.Fatalf("ETag = %s", w.Header().Get("ETag"))
+	}
+	if w.Header().Get("Last-Modified") != "Mon, 01 Jul 2019 12:00:00 GMT" {
+		t.Fatalf("Last-Modified = %s", w.Header().Get("Last-Modified"))
+	}
+	w = httptest.NewRecorder()
+	Apply(w, `"abc"`, time.Time{})
+	if w.Header().Get("Last-Modified") != "" {
+		t.Fatal("zero Last-Modified should be omitted")
+	}
+}

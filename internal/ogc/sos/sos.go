@@ -10,17 +10,30 @@
 //	?service=SOS&request=GetObservation&procedure=<sensorId>
 //	    [&from=RFC3339&to=RFC3339]
 //
+// GetObservation windows are half-open, [from, to): an observation
+// stamped exactly `from` is included, one stamped exactly `to` is not.
+// When `to` is omitted the window runs through the present inclusively —
+// a reading taken at this very instant is part of "the last 24 hours".
+//
 // Responses are XML documents with O&M-style observation members.
+// Observation collections stream member-by-member, so response memory
+// does not grow with the window, and carry ETag/Last-Modified validators
+// derived from the sensor's ingest sequence: If-None-Match revalidation
+// answers 304 without touching the store.
 package sos
 
 import (
+	"bufio"
 	"encoding/xml"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"time"
 
+	"evop/internal/httpcond"
 	"evop/internal/sensor"
+	"evop/internal/timeseries"
 )
 
 // Service is the SOS endpoint over one sensor network; it implements
@@ -68,11 +81,9 @@ type xmlSensorML struct {
 	Lon       float64  `xml:"sml:System>sml:position>gml:lon"`
 }
 
-type xmlObservationCollection struct {
-	XMLName xml.Name         `xml:"om:ObservationCollection"`
-	Members []xmlObservation `xml:"om:member>om:Observation"`
-}
-
+// xmlObservation is one om:Observation member; collections stream these
+// one om:member at a time (see streamObservations) rather than encoding
+// a whole-document struct.
 type xmlObservation struct {
 	Procedure string  `xml:"om:procedure"`
 	Property  string  `xml:"om:observedProperty"`
@@ -118,7 +129,7 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case "describesensor":
 		s.describeSensor(w, q.Get("procedure"))
 	case "getobservation":
-		s.getObservation(w, q.Get("procedure"), q.Get("from"), q.Get("to"))
+		s.getObservation(w, r, q.Get("procedure"), q.Get("from"), q.Get("to"))
 	default:
 		writeException(w, http.StatusBadRequest, "OperationNotSupported", q.Get("request"))
 	}
@@ -152,7 +163,14 @@ func (s *Service) describeSensor(w http.ResponseWriter, id string) {
 	})
 }
 
-func (s *Service) getObservation(w http.ResponseWriter, id, fromRaw, toRaw string) {
+// inclusiveEnd converts an inclusive endpoint into the service's
+// half-open [from, to) window contract: the smallest representable
+// instant strictly after t. Used for the default (omitted `to`) window
+// so a reading stamped exactly "now" is included; an explicit `to` stays
+// exclusive.
+func inclusiveEnd(t time.Time) time.Time { return t.Add(time.Nanosecond) }
+
+func (s *Service) getObservation(w http.ResponseWriter, r *http.Request, id, fromRaw, toRaw string) {
 	sn, err := s.network.Get(id)
 	if err != nil {
 		writeException(w, http.StatusNotFound, "InvalidParameterValue", "no procedure "+id)
@@ -160,7 +178,7 @@ func (s *Service) getObservation(w http.ResponseWriter, id, fromRaw, toRaw strin
 	}
 	now := s.clk.Now()
 	from := now.Add(-24 * time.Hour)
-	to := now.Add(time.Nanosecond)
+	to := inclusiveEnd(now)
 	if fromRaw != "" {
 		from, err = time.Parse(time.RFC3339, fromRaw)
 		if err != nil {
@@ -180,20 +198,53 @@ func (s *Service) getObservation(w http.ResponseWriter, id, fromRaw, toRaw strin
 			"from must not be after to")
 		return
 	}
-	obs, err := s.network.History(id, from, to)
+	stamp, err := s.network.ReadStamp(id)
 	if err != nil {
 		writeException(w, http.StatusNotFound, "InvalidParameterValue", err.Error())
 		return
 	}
-	doc := xmlObservationCollection{}
+	etag := httpcond.Tag("sos-observation", id,
+		fmt.Sprint(stamp.Seq),
+		fmt.Sprint(from.UnixNano()), fmt.Sprint(to.UnixNano()))
+	httpcond.Apply(w, etag, stamp.LastIngest)
+	if httpcond.Match(r, etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	obs, err := s.network.HistoryView(id, from, to)
+	if err != nil {
+		writeException(w, http.StatusNotFound, "InvalidParameterValue", err.Error())
+		return
+	}
+	streamObservations(w, sn, obs)
+}
+
+// streamObservations writes an om:ObservationCollection one member at a
+// time: the encoder flushes through a fixed-size buffer, so serving a
+// year-long window costs the same memory as a day.
+func streamObservations(w http.ResponseWriter, sn sensor.Sensor, obs []timeseries.Observation) {
+	w.Header().Set("Content-Type", "application/xml")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, xml.Header)
+	bw := bufio.NewWriter(w)
+	enc := xml.NewEncoder(bw)
+	enc.Indent("", "  ")
+	root := xml.StartElement{Name: xml.Name{Local: "om:ObservationCollection"}}
+	member := xml.StartElement{Name: xml.Name{Local: "om:member"}}
+	obsStart := xml.StartElement{Name: xml.Name{Local: "om:Observation"}}
+	_ = enc.EncodeToken(root)
 	for _, o := range obs {
-		doc.Members = append(doc.Members, xmlObservation{
+		_ = enc.EncodeToken(member)
+		_ = enc.EncodeElement(xmlObservation{
 			Procedure: sn.ID,
 			Property:  sn.Kind.String(),
 			Time:      o.Time.UTC().Format(time.RFC3339),
 			Value:     o.Value,
 			UOM:       sn.Kind.Unit(),
-		})
+		}, obsStart)
+		_ = enc.EncodeToken(member.End())
 	}
-	writeXML(w, http.StatusOK, doc)
+	_ = enc.EncodeToken(root.End())
+	_ = enc.Flush()
+	_ = bw.Flush()
 }

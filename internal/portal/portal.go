@@ -66,6 +66,9 @@ type Portal struct {
 	epMu      sync.Mutex
 	endpoints map[string]*endpointStats
 
+	// Series read-path counters (see series.go).
+	series seriesCounters
+
 	// liveWG counts in-flight /ws/live handlers. http.Server.Shutdown
 	// forgets hijacked connections, so ServeContext waits on this group
 	// to let each live socket flush its going-away close frame before
@@ -155,8 +158,9 @@ func (p *Portal) health(w http.ResponseWriter, _ *http.Request) {
 func (p *Portal) metrics(w http.ResponseWriter, _ *http.Request) {
 	rest.WriteJSON(w, http.StatusOK, struct {
 		core.InfraMetrics
-		HTTP HTTPMetrics `json:"http"`
-	}{p.obs.Metrics(), p.httpMetrics()})
+		HTTP   HTTPMetrics   `json:"http"`
+		Series SeriesMetrics `json:"series"`
+	}{p.obs.Metrics(), p.httpMetrics(), p.series.metrics()})
 }
 
 // mapLayers serves the geotagged marker layer: every sensor and every
@@ -250,25 +254,6 @@ func writeSensorErr(w http.ResponseWriter, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// sensorSeries returns a sensor's history as a Flot pair array — exactly
-// what the portal's time-series widgets plotted.
-func (p *Portal) sensorSeries(w http.ResponseWriter, r *http.Request, id string) {
-	q := r.URL.Query()
-	to := timeOrDefault(q.Get("to"), p.nowFallback())
-	from := timeOrDefault(q.Get("from"), to.Add(-24*time.Hour))
-	obs, err := p.obs.Network.History(id, from, to)
-	if err != nil {
-		writeSensorErr(w, err)
-		return
-	}
-	ir := timeseries.NewIrregular(obs)
-	pairs := make([][2]float64, 0, ir.Len())
-	for _, o := range ir.Observations() {
-		pairs = append(pairs, [2]float64{float64(o.Time.UnixMilli()), o.Value})
-	}
-	writeJSON(w, http.StatusOK, pairs)
-}
-
 func (p *Portal) nowFallback() time.Time {
 	// Use the newest reading across the network as "now" (maintained on
 	// ingest, O(1)); fall back to wall clock for an idle network.
@@ -290,12 +275,20 @@ func timeOrDefault(raw string, def time.Time) time.Time {
 }
 
 // fusion serves the Fig. 5 multimodal widget:
-// ?catchment=morland&at=RFC3339.
+// ?catchment=morland&at=RFC3339[&points=N]. With points, the response
+// also embeds the last 24 hours of the temperature and turbidity series,
+// downsampled to at most N points each — the widget's sparklines arrive
+// in the same round trip as the fused instant.
 func (p *Portal) fusion(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	cid := q.Get("catchment")
 	if cid == "" {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "catchment required"})
+		return
+	}
+	points, err := parsePoints(q.Get("points"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
 	at := timeOrDefault(q.Get("at"), p.nowFallback())
@@ -304,7 +297,25 @@ func (p *Portal) fusion(w http.ResponseWriter, r *http.Request) {
 		writeSensorErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, fused)
+	if points == 0 {
+		writeJSON(w, http.StatusOK, fused)
+		return
+	}
+	tempSeries, err := p.downsampledSeriesJSON(cid+"-temp-1", at, points)
+	if err != nil {
+		writeSensorErr(w, err)
+		return
+	}
+	turbSeries, err := p.downsampledSeriesJSON(cid+"-turb-1", at, points)
+	if err != nil {
+		writeSensorErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		sensor.FusedSample
+		TemperatureSeries json.RawMessage `json:"temperatureSeries"`
+		TurbiditySeries   json.RawMessage `json:"turbiditySeries"`
+	}{fused, tempSeries, turbSeries})
 }
 
 // scenarios lists the widget's preset buttons.

@@ -27,21 +27,13 @@ type FusedSample struct {
 // Fuse aligns a temperature sensor, a turbidity sensor and a webcam at
 // time t using nearest-in-time matching per source.
 func (n *Network) Fuse(tempID, turbID, camID string, t time.Time) (FusedSample, error) {
-	tempHist, err := n.historyOf(tempID, WaterTemperature)
+	tempObs, err := n.nearestObs(tempID, WaterTemperature, t)
 	if err != nil {
 		return FusedSample{}, err
 	}
-	turbHist, err := n.historyOf(turbID, Turbidity)
+	turbObs, err := n.nearestObs(turbID, Turbidity, t)
 	if err != nil {
 		return FusedSample{}, err
-	}
-	tempObs, ok := tempHist.Nearest(t)
-	if !ok {
-		return FusedSample{}, fmt.Errorf("%s: %w", tempID, ErrNoData)
-	}
-	turbObs, ok := turbHist.Nearest(t)
-	if !ok {
-		return FusedSample{}, fmt.Errorf("%s: %w", turbID, ErrNoData)
 	}
 	frame, err := n.FrameNearest(camID, t)
 	if err != nil {
@@ -63,18 +55,24 @@ func (n *Network) Fuse(tempID, turbID, camID string, t time.Time) (FusedSample, 
 	}, nil
 }
 
-// historyOf fetches a sensor's history, checking the expected kind.
-func (n *Network) historyOf(id string, want Kind) (*timeseries.Irregular, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	s, ok := n.sensors[id]
-	if !ok {
-		return nil, fmt.Errorf("%s: %w", id, ErrNotFound)
+// nearestObs finds a sensor's observation closest in time to t, checking
+// the expected kind. The lookup runs under the sensor's own shard lock,
+// so fusing one catchment's widget never contends with ingest elsewhere.
+func (n *Network) nearestObs(id string, want Kind, t time.Time) (timeseries.Observation, error) {
+	s, sh, err := n.shardOf(id)
+	if err != nil {
+		return timeseries.Observation{}, err
 	}
 	if s.Kind != want {
-		return nil, fmt.Errorf("%s is %v, want %v: %w", id, s.Kind, want, ErrBadSensor)
+		return timeseries.Observation{}, fmt.Errorf("%s is %v, want %v: %w", id, s.Kind, want, ErrBadSensor)
 	}
-	return n.history[id], nil
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	obs, ok := sh.history.Nearest(t)
+	if !ok {
+		return timeseries.Observation{}, fmt.Errorf("%s: %w", id, ErrNoData)
+	}
+	return obs, nil
 }
 
 // LEFTDeployment builds the standard sensor deployment for a catchment:

@@ -7,6 +7,13 @@
 //
 // Each sensor samples a deterministic driver function on a clock.Clock,
 // so the "live" feeds are reproducible in tests and experiments.
+//
+// Storage is sharded per sensor: every sensor owns its history, webcam
+// ring, ingest sequence and read/write lock, so the portal's read path
+// (History/Latest/FrameNearest and the zero-copy series views) never
+// contends with ingest on other sensors. Only registration, lifecycle
+// and the network-wide "newest reading" live on a small network-level
+// lock.
 package sensor
 
 import (
@@ -14,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"evop/internal/clock"
@@ -136,6 +144,61 @@ type Frame struct {
 	Content  []byte    `json:"content"`
 }
 
+// sensorRollupTiers is the bucket ladder kept per non-webcam sensor.
+// The finest tier matches the fastest LEFT cadence (15-minute level
+// gauges) so index memory stays a small fraction of the raw store; the
+// coarse tiers carry month- and year-wide aggregate queries in a few
+// thousand bucket merges.
+var sensorRollupTiers = []time.Duration{15 * time.Minute, 6 * time.Hour, 120 * time.Hour}
+
+// DefaultFrameRetention bounds each webcam's frame ring: about a year of
+// the standard hourly LEFT webcam cadence. Older frames are evicted
+// oldest-first; the ingest counter (and Latest's frame count) keeps
+// running across evictions.
+const DefaultFrameRetention = 8192
+
+// shard is one sensor's private store. Its RWMutex orders the single
+// sampling writer against any number of readers; because the history is
+// append-only (timeseries.Irregular copies on out-of-order insert),
+// readers can release the lock and keep iterating a WindowView while
+// ingest continues.
+type shard struct {
+	mu      sync.RWMutex
+	history *timeseries.Irregular
+	frames  frameRing
+	// seq counts ingests (readings or frames); it is the freshness stamp
+	// conditional requests key their ETags on.
+	seq  uint64
+	last time.Time
+}
+
+// frameRing is a bounded ring of webcam frames in capture order.
+type frameRing struct {
+	buf   []Frame
+	start int    // index of the oldest retained frame
+	n     int    // retained count
+	total uint64 // frames ever captured
+}
+
+func (r *frameRing) push(f Frame, limit int) {
+	if r.buf == nil {
+		r.buf = make([]Frame, limit)
+	}
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = f
+		r.n++
+	} else {
+		r.buf[r.start] = f
+		r.start = (r.start + 1) % len(r.buf)
+	}
+	r.total++
+}
+
+// at returns retained frame i, 0 = oldest. Frames are pushed in sample
+// order on a monotonic clock, so logical order is time order even after
+// the ring wraps.
+func (r *frameRing) at(i int) Frame { return r.buf[(r.start+i)%len(r.buf)] }
+
 // Network manages a set of sensors emitting on a shared clock.
 type Network struct {
 	clk clock.Clock
@@ -146,13 +209,16 @@ type Network struct {
 	// plain Subscribe feed ride the same delivery path.
 	hub *push.Hub[Reading]
 
-	mu      sync.Mutex
-	sensors map[string]Sensor
-	order   []string
-	history map[string]*timeseries.Irregular
-	frames  map[string][]Frame
-	running bool
-	stops   []func() bool
+	// mu guards registration, lifecycle, the hub pointer and the
+	// network-wide newest reading. Per-sensor data lives on the shards;
+	// read queries take mu only briefly (RLock) to resolve id → shard.
+	mu         sync.RWMutex
+	sensors    map[string]Sensor
+	shards     map[string]*shard
+	order      []string
+	running    bool
+	stops      []func() bool
+	frameLimit int
 	// droppedBase carries the coalesced-delivery total across hub
 	// generations (Stop closes every subscription and installs a fresh
 	// hub so the network can be restarted).
@@ -163,6 +229,11 @@ type Network struct {
 	// instead of a per-sensor scan.
 	newest    Reading
 	hasNewest bool
+
+	// Read-path counters (ReadStats).
+	seriesQueries   atomic.Uint64
+	aggQueries      atomic.Uint64
+	rollupFallbacks atomic.Uint64
 }
 
 // NewNetwork returns an empty network on the given clock.
@@ -171,11 +242,11 @@ func NewNetwork(clk clock.Clock) (*Network, error) {
 		return nil, fmt.Errorf("nil clock: %w", ErrBadSensor)
 	}
 	return &Network{
-		clk:     clk,
-		hub:     push.NewHub[Reading](push.DefaultShards),
-		sensors: make(map[string]Sensor),
-		history: make(map[string]*timeseries.Irregular),
-		frames:  make(map[string][]Frame),
+		clk:        clk,
+		hub:        push.NewHub[Reading](push.DefaultShards),
+		sensors:    make(map[string]Sensor),
+		shards:     make(map[string]*shard),
+		frameLimit: DefaultFrameRetention,
 	}, nil
 }
 
@@ -194,14 +265,38 @@ func (n *Network) Add(s Sensor) error {
 	}
 	n.sensors[s.ID] = s
 	n.order = append(n.order, s.ID)
-	n.history[s.ID] = timeseries.NewIrregular(nil)
+	sh := &shard{history: timeseries.NewIrregular(nil)}
+	if s.Kind != Webcam {
+		// The rollup tiers are fixed and valid; EnableRollups on an empty
+		// history cannot fail.
+		if err := sh.history.EnableRollups(sensorRollupTiers...); err != nil {
+			return fmt.Errorf("sensor %s rollups: %w", s.ID, err)
+		}
+	}
+	n.shards[s.ID] = sh
+	return nil
+}
+
+// SetFrameRetention bounds how many frames each webcam retains (oldest
+// evicted first). It must be called before Start; the default is
+// DefaultFrameRetention.
+func (n *Network) SetFrameRetention(frames int) error {
+	if frames < 1 {
+		return fmt.Errorf("frame retention %d: %w", frames, ErrBadSensor)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.running {
+		return fmt.Errorf("network already started: %w", ErrBadSensor)
+	}
+	n.frameLimit = frames
 	return nil
 }
 
 // Sensors lists registered sensors in registration order.
 func (n *Network) Sensors() []Sensor {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	out := make([]Sensor, 0, len(n.order))
 	for _, id := range n.order {
 		out = append(out, n.sensors[id])
@@ -211,13 +306,24 @@ func (n *Network) Sensors() []Sensor {
 
 // Get returns one sensor.
 func (n *Network) Get(id string) (Sensor, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	s, ok := n.sensors[id]
 	if !ok {
 		return Sensor{}, fmt.Errorf("%s: %w", id, ErrNotFound)
 	}
 	return s, nil
+}
+
+// shardOf resolves a sensor ID to its definition and shard.
+func (n *Network) shardOf(id string) (Sensor, *shard, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	s, ok := n.sensors[id]
+	if !ok {
+		return Sensor{}, nil, fmt.Errorf("%s: %w", id, ErrNotFound)
+	}
+	return s, n.shards[id], nil
 }
 
 // Start begins sampling every sensor on its interval. Idempotent.
@@ -246,33 +352,41 @@ func (n *Network) armLocked(id string) {
 	n.stops = append(n.stops, stop)
 }
 
-// sample takes one reading for a sensor and fans it out.
+// sample takes one reading for a sensor and fans it out. Ingest touches
+// only the sensor's own shard; the network lock is taken just to refresh
+// the O(1) newest-reading cache.
 func (n *Network) sample(id string) {
-	n.mu.Lock()
-	s, ok := n.sensors[id]
-	if !ok {
-		n.mu.Unlock()
+	s, sh, err := n.shardOf(id)
+	if err != nil {
 		return
 	}
+	n.mu.RLock()
+	limit := n.frameLimit
+	n.mu.RUnlock()
 	now := n.clk.Now()
 	var r Reading
+	sh.mu.Lock()
 	if s.Kind == Webcam {
-		frame := Frame{SensorID: id, Time: now, Content: synthFrame(id, now)}
-		n.frames[id] = append(n.frames[id], frame)
-		r = Reading{SensorID: id, Kind: s.Kind, Time: now, Value: float64(len(n.frames[id]))}
+		sh.frames.push(Frame{SensorID: id, Time: now, Content: synthFrame(id, now)}, limit)
+		r = Reading{SensorID: id, Kind: s.Kind, Time: now, Value: float64(sh.frames.total)}
 	} else {
 		r = Reading{SensorID: id, Kind: s.Kind, Time: now, Value: s.Driver(now)}
-		n.history[id].Add(timeseries.Observation{Time: now, Value: r.Value})
+		sh.history.Add(timeseries.Observation{Time: now, Value: r.Value})
 	}
+	sh.seq++
+	sh.last = now
+	sh.mu.Unlock()
+
+	n.mu.Lock()
 	if !n.hasNewest || !r.Time.Before(n.newest.Time) {
 		n.newest, n.hasNewest = r, true
 	}
 	hub := n.hub
 	n.mu.Unlock()
 
-	// Fan out past the network lock: hub delivery is bounded and
-	// non-blocking, but keeping it off n.mu means a storm of slow
-	// subscribers can never delay the next sensor sample.
+	// Fan out past the locks: hub delivery is bounded and non-blocking,
+	// but keeping it off the mutexes means a storm of slow subscribers
+	// can never delay the next sensor sample.
 	hub.Publish(r, push.TopicSensor(r.SensorID), push.TopicCatchment(s.CatchmentID), push.TopicAllSensors)
 }
 
@@ -315,9 +429,9 @@ const subscriberQueue = 64
 // subscribers coalesce: the oldest queued reading is dropped so the
 // newest always arrives. Stop also closes the channel.
 func (n *Network) Subscribe() (<-chan Reading, func()) {
-	n.mu.Lock()
+	n.mu.RLock()
 	hub := n.hub
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	sub, err := hub.Subscribe(subscriberQueue, push.TopicAllSensors)
 	if err != nil {
 		// Only a concurrent Stop can close the hub mid-subscribe; hand
@@ -335,17 +449,17 @@ func (n *Network) Subscribe() (<-chan Reading, func()) {
 // portal's /ws/live endpoint builds on this. queue <= 0 selects the
 // hub default.
 func (n *Network) SubscribeTopics(queue int, topics ...string) (*push.Subscription[Reading], error) {
-	n.mu.Lock()
+	n.mu.RLock()
 	hub := n.hub
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	return hub.Subscribe(queue, topics...)
 }
 
 // Dropped reports readings dropped (coalesced away) on slow subscriber
 // queues, across the network's lifetime.
 func (n *Network) Dropped() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	return int(n.droppedBase + n.hub.Stats().Coalesced)
 }
 
@@ -353,29 +467,28 @@ func (n *Network) Dropped() int {
 // published, delivered, coalesced; per shard) for the /metrics push
 // section.
 func (n *Network) PushStats() push.Stats {
-	n.mu.Lock()
+	n.mu.RLock()
 	hub := n.hub
-	n.mu.Unlock()
+	n.mu.RUnlock()
 	return hub.Stats()
 }
 
 // Latest returns the most recent reading of a sensor.
 func (n *Network) Latest(id string) (Reading, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	s, ok := n.sensors[id]
-	if !ok {
-		return Reading{}, fmt.Errorf("%s: %w", id, ErrNotFound)
+	s, sh, err := n.shardOf(id)
+	if err != nil {
+		return Reading{}, err
 	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	if s.Kind == Webcam {
-		frames := n.frames[id]
-		if len(frames) == 0 {
+		if sh.frames.n == 0 {
 			return Reading{}, fmt.Errorf("%s: %w", id, ErrNoData)
 		}
-		last := frames[len(frames)-1]
-		return Reading{SensorID: id, Kind: s.Kind, Time: last.Time, Value: float64(len(frames))}, nil
+		last := sh.frames.at(sh.frames.n - 1)
+		return Reading{SensorID: id, Kind: s.Kind, Time: last.Time, Value: float64(sh.frames.total)}, nil
 	}
-	h := n.history[id]
+	h := sh.history
 	if h.Len() == 0 {
 		return Reading{}, fmt.Errorf("%s: %w", id, ErrNoData)
 	}
@@ -388,58 +501,149 @@ func (n *Network) Latest(id string) (Reading, error) {
 // network's notion of "now" for data-relative queries. ErrNoData is
 // returned before any sensor has sampled.
 func (n *Network) Newest() (Reading, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
+	n.mu.RLock()
+	defer n.mu.RUnlock()
 	if !n.hasNewest {
 		return Reading{}, fmt.Errorf("network has no readings: %w", ErrNoData)
 	}
 	return n.newest, nil
 }
 
-// History returns a sensor's readings within [from, to).
-func (n *Network) History(id string, from, to time.Time) ([]timeseries.Observation, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	h, ok := n.history[id]
-	if !ok {
-		return nil, fmt.Errorf("%s: %w", id, ErrNotFound)
+// ReadStamp identifies the state of one sensor's store for conditional
+// requests: Seq increments on every ingest, LastIngest is the newest
+// sample's time. A response derived from the store can answer 304 Not
+// Modified for as long as the stamp is unchanged.
+type ReadStamp struct {
+	Seq        uint64
+	LastIngest time.Time
+}
+
+// ReadStamp returns the sensor's current ingest stamp.
+func (n *Network) ReadStamp(id string) (ReadStamp, error) {
+	_, sh, err := n.shardOf(id)
+	if err != nil {
+		return ReadStamp{}, err
 	}
-	return h.Window(from, to), nil
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return ReadStamp{Seq: sh.seq, LastIngest: sh.last}, nil
+}
+
+// History returns a copy of a sensor's readings within [from, to).
+func (n *Network) History(id string, from, to time.Time) ([]timeseries.Observation, error) {
+	_, sh, err := n.shardOf(id)
+	if err != nil {
+		return nil, err
+	}
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.history.Window(from, to), nil
+}
+
+// HistoryView returns a sensor's readings within [from, to) as a
+// zero-copy, read-only view. The store is append-only (out-of-order
+// inserts copy), so the view stays valid — and race-free — while ingest
+// continues; serialization layers iterate it without ever holding the
+// shard lock.
+func (n *Network) HistoryView(id string, from, to time.Time) ([]timeseries.Observation, error) {
+	_, sh, err := n.shardOf(id)
+	if err != nil {
+		return nil, err
+	}
+	n.seriesQueries.Add(1)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.history.WindowView(from, to), nil
+}
+
+// AggregateWindow summarises a sensor's readings in [from, to) from the
+// per-sensor rollup index: O(log n + buckets) instead of a raw scan.
+func (n *Network) AggregateWindow(id string, from, to time.Time) (timeseries.Aggregate, error) {
+	_, sh, err := n.shardOf(id)
+	if err != nil {
+		return timeseries.Aggregate{}, err
+	}
+	n.aggQueries.Add(1)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if !sh.history.Indexed() {
+		n.rollupFallbacks.Add(1)
+	}
+	return sh.history.AggregateWindow(from, to), nil
+}
+
+// AggregateSeries partitions [from, from+buckets*step) into equal
+// buckets and summarises each from the rollup index — the portal's
+// ?agg= endpoint.
+func (n *Network) AggregateSeries(id string, from time.Time, step time.Duration, buckets int) ([]timeseries.Aggregate, error) {
+	_, sh, err := n.shardOf(id)
+	if err != nil {
+		return nil, err
+	}
+	n.aggQueries.Add(1)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if !sh.history.Indexed() {
+		n.rollupFallbacks.Add(1)
+	}
+	return sh.history.AggregateSeries(from, step, buckets)
+}
+
+// ReadStats is the sensor read path's counter snapshot for /metrics.
+type ReadStats struct {
+	// SeriesQueries counts zero-copy window views served.
+	SeriesQueries uint64 `json:"seriesQueries"`
+	// AggregateQueries counts rollup-index aggregate queries.
+	AggregateQueries uint64 `json:"aggregateQueries"`
+	// RollupFallbacks counts aggregate queries that fell back to a raw
+	// scan because the sensor's history carries no index (webcams).
+	RollupFallbacks uint64 `json:"rollupFallbacks"`
+}
+
+// ReadStats returns the read path counters.
+func (n *Network) ReadStats() ReadStats {
+	return ReadStats{
+		SeriesQueries:    n.seriesQueries.Load(),
+		AggregateQueries: n.aggQueries.Load(),
+		RollupFallbacks:  n.rollupFallbacks.Load(),
+	}
 }
 
 // FrameNearest returns the webcam frame closest in time to t — the
 // primitive behind the paper's Fig. 5 widget pairing sensor readings with
-// "the corresponding webcam image taken roughly at the same time".
+// "the corresponding webcam image taken roughly at the same time". Only
+// retained frames (see SetFrameRetention) are searched.
 func (n *Network) FrameNearest(id string, t time.Time) (Frame, error) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	s, ok := n.sensors[id]
-	if !ok {
-		return Frame{}, fmt.Errorf("%s: %w", id, ErrNotFound)
+	s, sh, err := n.shardOf(id)
+	if err != nil {
+		return Frame{}, err
 	}
 	if s.Kind != Webcam {
 		return Frame{}, fmt.Errorf("%s is %v, not a webcam: %w", id, s.Kind, ErrBadSensor)
 	}
-	frames := n.frames[id]
-	if len(frames) == 0 {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	r := &sh.frames
+	if r.n == 0 {
 		return Frame{}, fmt.Errorf("%s: %w", id, ErrNoData)
 	}
-	// Frames are appended in sample order, and the clock is monotonic,
-	// so the slice is time-ordered: binary-search the first frame at or
-	// after t, then the nearest is that frame or its predecessor.
-	i := sort.Search(len(frames), func(i int) bool {
-		return !frames[i].Time.Before(t)
+	// Frames are pushed in sample order on a monotonic clock, so logical
+	// ring order is time order even after wrap: binary-search the first
+	// frame at or after t, then the nearest is that frame or its
+	// predecessor.
+	i := sort.Search(r.n, func(i int) bool {
+		return !r.at(i).Time.Before(t)
 	})
 	switch i {
 	case 0:
-		return frames[0], nil
-	case len(frames):
-		return frames[len(frames)-1], nil
+		return r.at(0), nil
+	case r.n:
+		return r.at(r.n - 1), nil
 	}
-	if absDur(t.Sub(frames[i-1].Time)) <= absDur(frames[i].Time.Sub(t)) {
-		return frames[i-1], nil
+	if absDur(t.Sub(r.at(i-1).Time)) <= absDur(r.at(i).Time.Sub(t)) {
+		return r.at(i - 1), nil
 	}
-	return frames[i], nil
+	return r.at(i), nil
 }
 
 func absDur(d time.Duration) time.Duration {

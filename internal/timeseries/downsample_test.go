@@ -1,0 +1,110 @@
+package timeseries
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func rampObs(n int, value func(i int) float64) []Observation {
+	obs := make([]Observation, n)
+	for i := range obs {
+		obs[i] = Observation{Time: t0.Add(time.Duration(i) * time.Minute), Value: value(i)}
+	}
+	return obs
+}
+
+func TestDownsampleSmallInputIsView(t *testing.T) {
+	obs := rampObs(10, func(i int) float64 { return float64(i) })
+	got := Downsample(obs, 10)
+	if len(got) != 10 || &got[0] != &obs[0] {
+		t.Fatal("small input should be returned as-is")
+	}
+	if got := Downsample(nil, 5); len(got) != 0 {
+		t.Fatalf("nil input → %d points", len(got))
+	}
+}
+
+// TestDownsamplePreservesExtremes is the property test the flood widgets
+// rely on: whatever LTTB picks, the window's min and max observations
+// must be present, output must stay time-ordered, bounded by the budget,
+// and keep both endpoints.
+func TestDownsamplePreservesExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		n := 50 + rng.Intn(5000)
+		points := 4 + rng.Intn(200)
+		spikeAt := 1 + rng.Intn(n-2)
+		dipAt := 1 + rng.Intn(n-2)
+		obs := rampObs(n, func(i int) float64 {
+			v := rng.NormFloat64()
+			if i == spikeAt {
+				v = 1e6 // global max, mid-window where LTTB could drop it
+			}
+			if i == dipAt {
+				v = -1e6
+			}
+			return v
+		})
+		var sc Aggregate
+		for _, o := range obs {
+			sc.add(o.Value)
+		}
+		got := Downsample(obs, points)
+		if len(got) > points {
+			t.Fatalf("trial %d: %d points, budget %d", trial, len(got), points)
+		}
+		if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Time.Before(got[j].Time) }) {
+			t.Fatalf("trial %d: output out of order", trial)
+		}
+		if !got[0].Time.Equal(obs[0].Time) || !got[len(got)-1].Time.Equal(obs[n-1].Time) {
+			t.Fatalf("trial %d: endpoints not preserved", trial)
+		}
+		var ds Aggregate
+		for _, o := range got {
+			ds.add(o.Value)
+		}
+		if ds.Min != sc.Min || ds.Max != sc.Max {
+			t.Fatalf("trial %d: extremes %v/%v, want %v/%v", trial, ds.Min, ds.Max, sc.Min, sc.Max)
+		}
+	}
+}
+
+// TestDownsampleSharedExtremeBucket forces min and max into the same
+// LTTB bucket; both must still survive.
+func TestDownsampleSharedExtremeBucket(t *testing.T) {
+	n := 1000
+	obs := rampObs(n, func(i int) float64 {
+		switch i {
+		case 500:
+			return 1e6
+		case 501:
+			return -1e6
+		default:
+			return 0
+		}
+	})
+	got := Downsample(obs, 8)
+	var ds Aggregate
+	for _, o := range got {
+		ds.add(o.Value)
+	}
+	if ds.Min != -1e6 || ds.Max != 1e6 {
+		t.Fatalf("extremes = %v/%v, want -1e6/1e6", ds.Min, ds.Max)
+	}
+	if len(got) > 8 {
+		t.Fatalf("points = %d, budget 8", len(got))
+	}
+}
+
+func TestDownsampleTinyBudgetClamps(t *testing.T) {
+	obs := rampObs(100, func(i int) float64 { return float64(i * i) })
+	got := Downsample(obs, 1)
+	if len(got) > 4 {
+		t.Fatalf("points = %d, want <= 4", len(got))
+	}
+	if !got[0].Time.Equal(obs[0].Time) || !got[len(got)-1].Time.Equal(obs[99].Time) {
+		t.Fatal("endpoints lost under clamped budget")
+	}
+}

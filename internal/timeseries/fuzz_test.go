@@ -34,6 +34,44 @@ func FuzzParseFlotJSON(f *testing.F) {
 	})
 }
 
+// FuzzRollupVsNaive is the rollup differential fuzzer: arbitrary ingest
+// orders, cadences and query windows must make the indexed
+// AggregateWindow agree with the reference AggregateScan — exactly for
+// min/max/count, up to float association order for sum.
+func FuzzRollupVsNaive(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(0), uint16(600))
+	f.Add([]byte{255, 0, 255, 0}, uint16(30), uint16(1))
+	f.Add([]byte{}, uint16(0), uint16(0))
+	f.Fuzz(func(t *testing.T, data []byte, fromMin, widthMin uint16) {
+		base := time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC)
+		ir := NewIrregular(nil)
+		if err := ir.EnableRollups(time.Minute, 15*time.Minute, 6*time.Hour); err != nil {
+			t.Fatalf("EnableRollups: %v", err)
+		}
+		// Each byte pair is one observation: offset (possibly out of
+		// order, sub-minute granularity) and a signed value.
+		for i := 0; i+1 < len(data); i += 2 {
+			off := time.Duration(data[i]) * 17 * time.Second
+			if data[i]%3 == 0 {
+				off += time.Duration(i) * time.Minute // march forward so long inputs span tiers
+			}
+			ir.Add(Observation{Time: base.Add(off), Value: float64(int(data[i+1]) - 128)})
+		}
+		from := base.Add(time.Duration(fromMin)*time.Minute - 2*time.Hour)
+		to := from.Add(time.Duration(widthMin) * time.Minute)
+		got, want := ir.AggregateWindow(from, to), ir.AggregateScan(from, to)
+		if got.Count != want.Count {
+			t.Fatalf("Count = %d, want %d", got.Count, want.Count)
+		}
+		if want.Count > 0 && (got.Min != want.Min || got.Max != want.Max) {
+			t.Fatalf("Min/Max = %v/%v, want %v/%v", got.Min, got.Max, want.Min, want.Max)
+		}
+		if diff := got.Sum - want.Sum; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("Sum = %v, want %v", got.Sum, want.Sum)
+		}
+	})
+}
+
 // FuzzReadCSV hardens the dataset-upload parser.
 func FuzzReadCSV(f *testing.F) {
 	f.Add("time,value\n2019-07-01T00:00:00Z,1\n2019-07-01T01:00:00Z,\n")

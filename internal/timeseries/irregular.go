@@ -16,8 +16,17 @@ type Observation struct {
 
 // Irregular is a time-ordered sequence of observations with no fixed step,
 // as produced by event-driven sensors and manual samples.
+//
+// Storage is append-only: an in-order Add appends, and an out-of-order
+// Add copies the backing array before inserting. Views handed out by
+// WindowView therefore stay valid — and data-race free under a
+// single-writer/many-reader locking discipline — while new observations
+// continue to arrive.
 type Irregular struct {
 	obs []Observation
+	// idx is the multi-resolution rollup index (rollup.go); nil until
+	// EnableRollups. Add keeps it incrementally up to date.
+	idx *rollupIndex
 }
 
 // NewIrregular returns an Irregular holding a sorted copy of obs.
@@ -41,27 +50,59 @@ func (ir *Irregular) Observations() []Observation {
 	return out
 }
 
-// Add inserts an observation, keeping time order. Appends are O(1); out of
-// order inserts shift.
+// Add inserts an observation, keeping time order. Appends are O(1)
+// amortised; an out-of-order insert copies the backing array
+// (copy-on-write), so views returned by WindowView before the insert keep
+// seeing the pre-insert sequence instead of shifted memory.
 func (ir *Irregular) Add(o Observation) {
 	n := len(ir.obs)
 	if n == 0 || !o.Time.Before(ir.obs[n-1].Time) {
 		ir.obs = append(ir.obs, o)
-		return
+	} else {
+		i := sort.Search(n, func(i int) bool { return ir.obs[i].Time.After(o.Time) })
+		next := make([]Observation, n+1)
+		copy(next, ir.obs[:i])
+		next[i] = o
+		copy(next[i+1:], ir.obs[i:])
+		ir.obs = next
 	}
-	i := sort.Search(n, func(i int) bool { return ir.obs[i].Time.After(o.Time) })
-	ir.obs = append(ir.obs, Observation{})
-	copy(ir.obs[i+1:], ir.obs[i:])
-	ir.obs[i] = o
+	if ir.idx != nil {
+		ir.idx.add(o)
+	}
 }
 
-// Window returns the observations with Time in [from, to).
+// Window returns a copy of the observations with Time in [from, to).
 func (ir *Irregular) Window(from, to time.Time) []Observation {
+	view := ir.WindowView(from, to)
+	out := make([]Observation, len(view))
+	copy(out, view)
+	return out
+}
+
+// WindowView returns the observations with Time in [from, to) as a
+// zero-copy view of the underlying storage. Callers must treat the view
+// as read-only. Because storage is append-only (out-of-order inserts
+// copy), a view taken under a read lock remains valid and race-free
+// after the lock is released, even while a single writer keeps
+// appending.
+func (ir *Irregular) WindowView(from, to time.Time) []Observation {
 	lo := sort.Search(len(ir.obs), func(i int) bool { return !ir.obs[i].Time.Before(from) })
 	hi := sort.Search(len(ir.obs), func(i int) bool { return !ir.obs[i].Time.Before(to) })
-	out := make([]Observation, hi-lo)
-	copy(out, ir.obs[lo:hi])
-	return out
+	if hi < lo {
+		hi = lo
+	}
+	return ir.obs[lo:hi:hi]
+}
+
+// WindowFunc calls fn for each observation with Time in [from, to), in
+// time order, without copying. Iteration stops early when fn returns
+// false.
+func (ir *Irregular) WindowFunc(from, to time.Time, fn func(Observation) bool) {
+	for _, o := range ir.WindowView(from, to) {
+		if !fn(o) {
+			return
+		}
+	}
 }
 
 // Nearest returns the observation closest in time to t. This is the

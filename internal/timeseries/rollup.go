@@ -1,0 +1,256 @@
+package timeseries
+
+import (
+	"fmt"
+	"time"
+)
+
+// This file is the multi-resolution rollup index behind the portal's
+// aggregated sensor queries. Each enabled tier maintains one
+// min/max/sum/count bucket per fixed span of time (epoch-aligned), kept
+// incrementally up to date on Add in O(tiers) amortised. An aggregated
+// window query then costs O(log n + buckets touched) instead of
+// O(observations in window): the window is covered greedily with the
+// coarsest aligned buckets available, and only the sub-tier fringes fall
+// back to scanning raw observations.
+
+// Aggregate summarises the observations of a window: extremes, sum and
+// count. The zero value is the aggregate of an empty window.
+type Aggregate struct {
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Sum   float64 `json:"sum"`
+	Count int64   `json:"count"`
+}
+
+// Mean returns Sum/Count, or 0 for an empty aggregate.
+func (a Aggregate) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// add folds one value into the aggregate.
+func (a *Aggregate) add(v float64) {
+	if a.Count == 0 || v < a.Min {
+		a.Min = v
+	}
+	if a.Count == 0 || v > a.Max {
+		a.Max = v
+	}
+	a.Sum += v
+	a.Count++
+}
+
+// merge folds another aggregate into this one.
+func (a *Aggregate) merge(b Aggregate) {
+	if b.Count == 0 {
+		return
+	}
+	if a.Count == 0 || b.Min < a.Min {
+		a.Min = b.Min
+	}
+	if a.Count == 0 || b.Max > a.Max {
+		a.Max = b.Max
+	}
+	a.Sum += b.Sum
+	a.Count += b.Count
+}
+
+// DefaultRollupTiers is the standard bucket ladder: a minute tier for
+// fine fringes, a quarter-hour tier, and a six-hour tier that carries
+// long windows. Each tier must divide the next so bucket boundaries
+// nest.
+var DefaultRollupTiers = []time.Duration{time.Minute, 15 * time.Minute, 6 * time.Hour}
+
+// rollupTier is one resolution of the index: a dense run of buckets
+// starting at bucket number first (bucket number = floor(unixNanos/span)).
+type rollupTier struct {
+	span    time.Duration
+	spanNs  int64
+	first   int64
+	buckets []Aggregate
+}
+
+// bucketNum returns the tier bucket holding t.
+func (rt *rollupTier) bucketNum(t time.Time) int64 {
+	return floorDiv(t.UnixNano(), rt.spanNs)
+}
+
+// add folds one observation into the tier, extending the dense run as
+// needed. In-order ingest extends at the tail (amortised O(1)); an
+// observation before the run grows it backwards (rare, O(run)).
+func (rt *rollupTier) add(o Observation) {
+	b := rt.bucketNum(o.Time)
+	switch {
+	case len(rt.buckets) == 0:
+		rt.first = b
+		rt.buckets = append(rt.buckets, Aggregate{})
+	case b >= rt.first+int64(len(rt.buckets)):
+		for int64(len(rt.buckets)) <= b-rt.first {
+			rt.buckets = append(rt.buckets, Aggregate{})
+		}
+	case b < rt.first:
+		grown := make([]Aggregate, int64(len(rt.buckets))+(rt.first-b))
+		copy(grown[rt.first-b:], rt.buckets)
+		rt.buckets, rt.first = grown, b
+	}
+	rt.buckets[b-rt.first].add(o.Value)
+}
+
+// bucketAt returns the aggregate of tier bucket b (empty outside the run).
+func (rt *rollupTier) bucketAt(b int64) Aggregate {
+	if b < rt.first || b >= rt.first+int64(len(rt.buckets)) {
+		return Aggregate{}
+	}
+	return rt.buckets[b-rt.first]
+}
+
+// rollupIndex is the full tier ladder.
+type rollupIndex struct {
+	tiers []rollupTier
+}
+
+func (ri *rollupIndex) add(o Observation) {
+	for i := range ri.tiers {
+		ri.tiers[i].add(o)
+	}
+}
+
+// EnableRollups builds the rollup index over the current observations
+// and keeps it up to date on every subsequent Add. Tiers must be
+// strictly ascending and each must divide the next; no tiers selects
+// DefaultRollupTiers. Index memory is O(extent/tiers[0]), so the finest
+// tier should be no finer than the expected sampling cadence.
+func (ir *Irregular) EnableRollups(tiers ...time.Duration) error {
+	if len(tiers) == 0 {
+		tiers = DefaultRollupTiers
+	}
+	for i, span := range tiers {
+		if span <= 0 {
+			return fmt.Errorf("rollup tier %v: %w", span, ErrBadStep)
+		}
+		if i > 0 {
+			if span <= tiers[i-1] {
+				return fmt.Errorf("rollup tiers must ascend: %v after %v: %w", span, tiers[i-1], ErrBadStep)
+			}
+			if span%tiers[i-1] != 0 {
+				return fmt.Errorf("rollup tier %v must be a multiple of %v: %w", span, tiers[i-1], ErrBadStep)
+			}
+		}
+	}
+	idx := &rollupIndex{tiers: make([]rollupTier, len(tiers))}
+	for i, span := range tiers {
+		idx.tiers[i] = rollupTier{span: span, spanNs: span.Nanoseconds()}
+	}
+	for _, o := range ir.obs {
+		idx.add(o)
+	}
+	ir.idx = idx
+	return nil
+}
+
+// Indexed reports whether a rollup index is maintained.
+func (ir *Irregular) Indexed() bool { return ir.idx != nil }
+
+// AggregateScan is the reference aggregation: a linear scan of the raw
+// observations in [from, to). It is the O(window) baseline the rollup
+// index is benchmarked and differentially fuzzed against.
+func (ir *Irregular) AggregateScan(from, to time.Time) Aggregate {
+	var a Aggregate
+	for _, o := range ir.WindowView(from, to) {
+		a.add(o.Value)
+	}
+	return a
+}
+
+// AggregateWindow aggregates the observations in [from, to). With a
+// rollup index enabled it costs O(log n + buckets touched); min, max and
+// count match AggregateScan exactly, and Sum matches up to floating-point
+// association order. Without an index it falls back to AggregateScan.
+func (ir *Irregular) AggregateWindow(from, to time.Time) Aggregate {
+	if ir.idx == nil {
+		return ir.AggregateScan(from, to)
+	}
+	n := len(ir.obs)
+	if n == 0 || !from.Before(to) {
+		return Aggregate{}
+	}
+	// Clamp to the data extent: buckets outside it are empty, and
+	// clamping bounds the greedy walk for wide-open query windows.
+	if first := ir.obs[0].Time; from.Before(first) {
+		from = first
+	}
+	if last := ir.obs[n-1].Time.Add(time.Nanosecond); to.After(last) {
+		to = last
+	}
+	if !from.Before(to) {
+		return Aggregate{}
+	}
+
+	var agg Aggregate
+	fine := &ir.idx.tiers[0]
+	cur := from
+	for cur.Before(to) {
+		tier := ir.idx.coarsestFit(cur, to)
+		if tier == nil {
+			// Sub-tier fringe: scan raw observations up to the next
+			// finest-tier boundary (or the window end).
+			next := time.Unix(0, (floorDiv(cur.UnixNano(), fine.spanNs)+1)*fine.spanNs).UTC()
+			if next.After(to) {
+				next = to
+			}
+			agg.merge(ir.AggregateScan(cur, next))
+			cur = next
+			continue
+		}
+		agg.merge(tier.bucketAt(tier.bucketNum(cur)))
+		cur = cur.Add(tier.span)
+	}
+	return agg
+}
+
+// coarsestFit returns the coarsest tier whose bucket starting exactly at
+// cur fits inside [cur, to), or nil when not even the finest tier fits.
+func (ri *rollupIndex) coarsestFit(cur, to time.Time) *rollupTier {
+	ns := cur.UnixNano()
+	for i := len(ri.tiers) - 1; i >= 0; i-- {
+		t := &ri.tiers[i]
+		if ns%t.spanNs != 0 {
+			continue // cur is not aligned to a tier bucket boundary
+		}
+		if !cur.Add(t.span).After(to) {
+			return t
+		}
+	}
+	return nil
+}
+
+// AggregateSeries partitions [from, from+n*step) into n equal buckets
+// and returns each bucket's aggregate, answered from the rollup index
+// when enabled. Empty buckets have Count 0.
+func (ir *Irregular) AggregateSeries(from time.Time, step time.Duration, n int) ([]Aggregate, error) {
+	if step <= 0 {
+		return nil, ErrBadStep
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("timeseries: negative length %d: %w", n, ErrBadRange)
+	}
+	out := make([]Aggregate, n)
+	for i := range out {
+		lo := from.Add(time.Duration(i) * step)
+		out[i] = ir.AggregateWindow(lo, lo.Add(step))
+	}
+	return out, nil
+}
+
+// floorDiv divides rounding towards negative infinity, so bucket numbers
+// are monotone across the Unix epoch.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
