@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check chaos bench fuzz fuzz-smoke
+.PHONY: build test check chaos bench fuzz fuzz-smoke lint-metrics
 
 build:
 	$(GO) build ./...
@@ -14,6 +14,7 @@ test:
 # and running without timing anything).
 check:
 	$(GO) vet ./...
+	$(MAKE) lint-metrics
 	$(GO) test -race -shuffle=on ./...
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(MAKE) chaos
@@ -26,6 +27,12 @@ check:
 chaos:
 	$(GO) test -race -shuffle=on -count=2 -run 'Chaos|Fault|Breaker|Backoff|Suspend' \
 		./internal/loadbalancer ./internal/cloud/... ./internal/broker ./internal/resilience
+
+# lint-metrics forbids raw atomic counters outside internal/metrics —
+# operational counters belong in the unified registry so they surface in
+# /metrics and the Prometheus exposition.
+lint-metrics:
+	./tools/lint-metrics.sh
 
 bench:
 	$(GO) test -bench=. -benchmem .

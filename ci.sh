@@ -4,6 +4,9 @@
 set -eu
 cd "$(dirname "$0")"
 go vet ./...
+# Grep lint: operational counters must live in the unified metrics
+# registry, not as raw atomics scattered across packages.
+./tools/lint-metrics.sh
 go test -race -shuffle=on ./...
 # Benchmark smoke tier: every benchmark must still run (one iteration);
 # catches bit-rot in the perf harness without timing anything.

@@ -45,6 +45,7 @@ import (
 
 	"evop/internal/clock"
 	"evop/internal/cloud"
+	"evop/internal/metrics"
 	"evop/internal/push"
 )
 
@@ -171,6 +172,9 @@ type Options struct {
 	// SubscriberBuffer is the capacity of each session's update channel.
 	// Zero means DefaultSubscriberBuffer; values below 1 are rejected.
 	SubscriberBuffer int
+	// Metrics, when non-nil, registers the broker's lifecycle counters
+	// and the session hub's fan-out instruments in the registry.
+	Metrics *metrics.Registry
 }
 
 // Broker is the Resource Broker.
@@ -199,7 +203,7 @@ type Broker struct {
 	// lost it (Suspend); suspendedTotal counts every suspension ever. The
 	// LB surfaces both so a chaos run can assert nobody is left stranded.
 	suspended      map[string]bool
-	suspendedTotal int
+	suspendedTotal *metrics.Counter
 	// retained is a ring of closed-session IDs (oldest at head) whose
 	// snapshots live in retainedByID.
 	retained     []string
@@ -217,7 +221,7 @@ type Broker struct {
 	bound map[string]*cloud.Instance
 
 	// stats
-	closedTotal int
+	closedTotal *metrics.Counter
 }
 
 // New returns a Broker with default options using the given clock.
@@ -244,6 +248,7 @@ func NewWithOptions(clk clock.Clock, opts Options) (*Broker, error) {
 	if subBuf < 1 {
 		return nil, fmt.Errorf("subscriber buffer %d: %w", opts.SubscriberBuffer, ErrBadConfig)
 	}
+	reg := opts.Metrics
 	return &Broker{
 		clk:          clk,
 		retention:    retention,
@@ -255,9 +260,14 @@ func NewWithOptions(clk clock.Clock, opts Options) (*Broker, error) {
 		queued:       make(map[string]bool),
 		suspended:    make(map[string]bool),
 		retainedByID: make(map[string]*Session),
-		hub:          push.NewHub[Update](push.DefaultShards),
-		subs:         make(map[string]*push.Subscription[Update]),
-		bound:        make(map[string]*cloud.Instance),
+		hub: push.NewHubWithMetrics[Update](
+			push.NewHubMetrics(reg, "sessions", push.DefaultShards)),
+		subs:  make(map[string]*push.Subscription[Update]),
+		bound: make(map[string]*cloud.Instance),
+		suspendedTotal: reg.Counter("evop_broker_sessions_suspended_total",
+			"Sessions suspended after losing their instance."),
+		closedTotal: reg.Counter("evop_broker_sessions_closed_total",
+			"Sessions closed over the broker's lifetime."),
 	}, nil
 }
 
@@ -466,7 +476,7 @@ func (b *Broker) Suspend(sessionID, reason string) error {
 	s.InstanceAddr = ""
 	b.numPending++
 	b.suspended[sessionID] = true
-	b.suspendedTotal++
+	b.suspendedTotal.Inc()
 	b.enqueuePendingLocked(sessionID)
 	b.pushLocked(sessionID, Update{Kind: UpdateSuspended, Session: *s, Reason: reason, At: b.clk.Now()})
 	return nil
@@ -497,7 +507,7 @@ func (b *Broker) Disconnect(sessionID string) error {
 	}
 	delete(b.suspended, sessionID)
 	s.State = Closed
-	b.closedTotal++
+	b.closedTotal.Inc()
 	b.pushLocked(sessionID, Update{Kind: UpdateClosed, Session: *s, At: b.clk.Now()})
 	if sub, ok := b.subs[sessionID]; ok {
 		// Cancel closes the channel after the terminal UpdateClosed above
@@ -647,9 +657,7 @@ func (b *Broker) SuspendedCount() int {
 
 // SuspendedTotal returns how many suspensions have ever happened.
 func (b *Broker) SuspendedTotal() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.suspendedTotal
+	return int(b.suspendedTotal.Value())
 }
 
 // LiveCount returns how many sessions are pending or active.
@@ -661,9 +669,7 @@ func (b *Broker) LiveCount() int {
 
 // ClosedTotal returns how many sessions have ever been closed.
 func (b *Broker) ClosedTotal() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.closedTotal
+	return int(b.closedTotal.Value())
 }
 
 // DroppedUpdates reports push messages superseded by newer ones for slow

@@ -173,7 +173,9 @@ func (m *Multi) EnableBreakers(cfg resilience.BreakerConfig) error {
 	defer m.mu.Unlock()
 	breakers := make(map[string]*resilience.Breaker, len(m.providers))
 	for _, p := range m.providers {
-		br, err := resilience.NewBreaker(cfg)
+		pcfg := cfg
+		pcfg.Name = p.Name() // one metrics series per provider
+		br, err := resilience.NewBreaker(pcfg)
 		if err != nil {
 			return fmt.Errorf("breaker for %s: %w", p.Name(), err)
 		}

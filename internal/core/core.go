@@ -29,6 +29,7 @@ import (
 	"evop/internal/hydro/quality"
 	"evop/internal/hydro/topmodel"
 	"evop/internal/loadbalancer"
+	"evop/internal/metrics"
 	"evop/internal/modellib"
 	"evop/internal/ogc/sos"
 	"evop/internal/ogc/wps"
@@ -159,6 +160,11 @@ type Observatory struct {
 	// requests cost one simulation. Cached RunResults are shared between
 	// callers and must be treated as immutable.
 	runs *runcache.Cache[*RunResult]
+
+	// registry is the observatory-wide metrics registry every layer
+	// records into; modelRunSeconds times uncached simulations.
+	registry        *metrics.Registry
+	modelRunSeconds *metrics.Histogram
 }
 
 // New assembles an observatory over the three LEFT catchments.
@@ -170,6 +176,7 @@ func New(cfg Config) (*Observatory, error) {
 	if cacheSize == 0 {
 		cacheSize = 256
 	}
+	reg := metrics.NewRegistry(cfg.Clock)
 	o := &Observatory{
 		cfg:        cfg,
 		Catchments: catchment.LEFTCatchments(),
@@ -177,7 +184,10 @@ func New(cfg Config) (*Observatory, error) {
 		Assets:     rest.NewStore(),
 		forcings:   make(map[string]hydro.Forcing),
 		uploads:    make(map[string]*timeseries.Series),
-		runs:       runcache.New[*RunResult](cacheSize),
+		runs:       runcache.NewWithMetrics[*RunResult](cacheSize, reg),
+		registry:   reg,
+		modelRunSeconds: reg.Histogram("evop_model_run_seconds",
+			"Uncached model simulation duration.", metrics.DurationScale),
 	}
 
 	var err error
@@ -218,16 +228,16 @@ func New(cfg Config) (*Observatory, error) {
 	if err != nil {
 		return nil, fmt.Errorf("building multi-cloud: %w", err)
 	}
-	if err := o.Multi.EnableBreakers(resilience.BreakerConfig{Clock: cfg.Clock}); err != nil {
+	if err := o.Multi.EnableBreakers(resilience.BreakerConfig{Clock: cfg.Clock, Metrics: reg}); err != nil {
 		return nil, fmt.Errorf("enabling circuit breakers: %w", err)
 	}
-	o.Broker, err = broker.New(cfg.Clock)
+	o.Broker, err = broker.NewWithOptions(cfg.Clock, broker.Options{Metrics: reg})
 	if err != nil {
 		return nil, fmt.Errorf("building broker: %w", err)
 	}
 
 	// Sensor network: the standard LEFT deployment per catchment.
-	o.Network, err = sensor.NewNetwork(cfg.Clock)
+	o.Network, err = sensor.NewNetworkWithMetrics(cfg.Clock, reg)
 	if err != nil {
 		return nil, fmt.Errorf("building sensor network: %w", err)
 	}
@@ -273,13 +283,14 @@ func New(cfg Config) (*Observatory, error) {
 	o.LB, err = loadbalancer.New(loadbalancer.Config{
 		Multi: o.Multi, Broker: o.Broker, Clock: cfg.Clock,
 		Image: serviceImage, Flavor: cfg.Flavor, Interval: cfg.LBInterval,
+		Metrics: reg,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("building load balancer: %w", err)
 	}
 
 	// WPS: model execution processes.
-	o.WPS = wps.NewService("EVOp WPS")
+	o.WPS = wps.NewServiceWithMetrics("EVOp WPS", reg)
 	if err := o.WPS.Register(&modelProcess{obs: o, model: "topmodel"}); err != nil {
 		return nil, fmt.Errorf("registering topmodel process: %w", err)
 	}
@@ -301,7 +312,54 @@ func New(cfg Config) (*Observatory, error) {
 	}
 
 	o.populateAssets()
+	o.registerGauges()
 	return o, nil
+}
+
+// MetricsRegistry returns the observatory-wide metrics registry, the
+// single place every layer's counters and histograms live.
+func (o *Observatory) MetricsRegistry() *metrics.Registry {
+	return o.registry
+}
+
+// registerGauges installs callback gauges over assembled components.
+// GaugeFunc callbacks run during Snapshot outside the registry lock, so
+// they may take component locks freely.
+func (o *Observatory) registerGauges() {
+	o.registry.GaugeFunc("evop_instances", "Cloud instances by kind.",
+		func() float64 { return float64(o.countInstances(cloud.Private)) },
+		metrics.L("kind", "private"))
+	o.registry.GaugeFunc("evop_instances", "Cloud instances by kind.",
+		func() float64 { return float64(o.countInstances(cloud.Public)) },
+		metrics.L("kind", "public"))
+	o.registry.GaugeFunc("evop_sessions", "Broker sessions by state.",
+		func() float64 { return float64(o.countSessions(broker.Active)) },
+		metrics.L("state", "active"))
+	o.registry.GaugeFunc("evop_sessions", "Broker sessions by state.",
+		func() float64 { return float64(o.countSessions(broker.Pending)) },
+		metrics.L("state", "pending"))
+	o.registry.GaugeFunc("evop_public_cost", "Accrued public-cloud cost.",
+		o.Public.CostAccrued)
+}
+
+func (o *Observatory) countInstances(kind cloud.ProviderKind) int {
+	n := 0
+	for _, in := range o.Multi.Instances() {
+		if in.Kind() == kind {
+			n++
+		}
+	}
+	return n
+}
+
+func (o *Observatory) countSessions(state broker.SessionState) int {
+	n := 0
+	for _, s := range o.Broker.Sessions() {
+		if s.State == state {
+			n++
+		}
+	}
+	return n
 }
 
 // populateAssets fills the REST store with the observatory's resources so
@@ -588,6 +646,8 @@ func (o *Observatory) RunModelCachedContext(ctx context.Context, req RunRequest)
 // flight's: detached from any single requester and canceled only when no
 // requester remains interested.
 func (o *Observatory) runModel(ctx context.Context, req RunRequest) (*RunResult, error) {
+	start := time.Now()
+	defer func() { o.modelRunSeconds.RecordSince(start) }()
 	c, ok := o.Catchments.Get(req.CatchmentID)
 	if !ok {
 		return nil, fmt.Errorf("catchment %q: %w", req.CatchmentID, ErrUnknownCatchment)

@@ -38,6 +38,7 @@ import (
 	"evop/internal/clock"
 	"evop/internal/cloud"
 	"evop/internal/cloud/crosscloud"
+	"evop/internal/metrics"
 	"evop/internal/resilience"
 )
 
@@ -74,6 +75,9 @@ type Config struct {
 	// failed termination is leaked cost until it succeeds). Zero fields
 	// default to base = Interval, factor 2, max = 16×Interval, no jitter.
 	TerminateBackoff resilience.Backoff
+	// Metrics, when non-nil, registers the LB's control-loop and
+	// robustness counters in the registry.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) setDefaults() {
@@ -183,8 +187,8 @@ type LB struct {
 	stopTick func() bool
 	tracks   map[string]*instanceTrack
 	events   []Event
-	ticks    int
-	replaced int
+	ticks    *metrics.Counter
+	replaced *metrics.Counter
 	// replacing is the in-flight replacement table: suspect instance ID →
 	// replacement instance ID ("" while the replacement launch keeps
 	// failing). A suspect with an entry never triggers another launch, so
@@ -193,10 +197,10 @@ type LB struct {
 	// termRetries is the terminate-retry queue, keyed by instance ID.
 	termRetries map[string]*termRetry
 	// robustness counters (see Stats).
-	launchFailures        int
-	terminateFailures     int
-	terminateRetries      int
-	recoveredTerminations int
+	launchFailures        *metrics.Counter
+	terminateFailures     *metrics.Counter
+	terminateRetries      *metrics.Counter
+	recoveredTerminations *metrics.Counter
 }
 
 var _ broker.Placer = (*LB)(nil)
@@ -208,11 +212,24 @@ func New(cfg Config) (*LB, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	reg := cfg.Metrics
 	lb := &LB{
 		cfg:         cfg,
 		tracks:      make(map[string]*instanceTrack),
 		replacing:   make(map[string]string),
 		termRetries: make(map[string]*termRetry),
+		ticks: reg.Counter("evop_lb_ticks_total",
+			"Load-balancer control-loop iterations."),
+		replaced: reg.Counter("evop_lb_replaced_total",
+			"Malfunctioning instances replaced."),
+		launchFailures: reg.Counter("evop_lb_launch_failures_total",
+			"Instance launches that failed."),
+		terminateFailures: reg.Counter("evop_lb_terminate_failures_total",
+			"Instance terminations that failed (leaked cost until retried)."),
+		terminateRetries: reg.Counter("evop_lb_terminate_retries_total",
+			"Scheduled retries of failed terminations."),
+		recoveredTerminations: reg.Counter("evop_lb_recovered_terminations_total",
+			"Failed terminations eventually recovered by retry."),
 	}
 	cfg.Broker.SetPlacer(lb)
 	return lb, nil
@@ -334,7 +351,7 @@ func serves(in *cloud.Instance, service string) bool {
 // and experiments can drive the loop deterministically.
 func (lb *LB) Tick() {
 	lb.mu.Lock()
-	lb.ticks++
+	lb.ticks.Inc()
 	lb.mu.Unlock()
 
 	lb.observeHealth()
@@ -426,7 +443,7 @@ func (lb *LB) replaceMalfunctioning() {
 				lb.record("replace", fmt.Sprintf("%s -> %s (%d sessions)", id, repl.ID(), len(sessions)))
 			} else {
 				lb.mu.Lock()
-				lb.launchFailures++
+				lb.launchFailures.Inc()
 				lb.mu.Unlock()
 				lb.record("replace", fmt.Sprintf("%s (replacement launch failed: %v)", id, err))
 			}
@@ -477,7 +494,7 @@ func (lb *LB) tryTerminate(id, reason string, idle bool) bool {
 		return true
 	}
 	lb.mu.Lock()
-	lb.terminateFailures++
+	lb.terminateFailures.Inc()
 	lb.termRetries[id] = &termRetry{
 		attempts: 1,
 		nextAt:   lb.cfg.Clock.Now().Add(lb.cfg.TerminateBackoff.Delay(0)),
@@ -499,12 +516,12 @@ func (lb *LB) finishTerminate(id, reason string, attempts int) {
 	lb.record("terminate", detail)
 	lb.mu.Lock()
 	if attempts > 0 {
-		lb.recoveredTerminations++
+		lb.recoveredTerminations.Inc()
 	}
 	delete(lb.termRetries, id)
 	if _, wasSuspect := lb.replacing[id]; wasSuspect {
 		delete(lb.replacing, id)
-		lb.replaced++
+		lb.replaced.Inc()
 	}
 	lb.mu.Unlock()
 }
@@ -539,7 +556,7 @@ func (lb *LB) retryTerminations() {
 			continue
 		}
 		lb.mu.Lock()
-		lb.terminateRetries++
+		lb.terminateRetries.Inc()
 		lb.mu.Unlock()
 		err := lb.cfg.Multi.Terminate(id)
 		if err == nil || errors.Is(err, cloud.ErrNotFound) {
@@ -547,7 +564,7 @@ func (lb *LB) retryTerminations() {
 			continue
 		}
 		lb.mu.Lock()
-		lb.terminateFailures++
+		lb.terminateFailures.Inc()
 		e.attempts++
 		e.nextAt = now.Add(lb.cfg.TerminateBackoff.Delay(e.attempts - 1))
 		attempts := e.attempts
@@ -593,7 +610,7 @@ func (lb *LB) scaleUp() {
 			// Pending sessions stay queued; the next tick retries (the
 			// interval is the retry cadence, breakers gate providers).
 			lb.mu.Lock()
-			lb.launchFailures++
+			lb.launchFailures.Inc()
 			lb.mu.Unlock()
 			lb.record("launch", "failed: "+err.Error())
 			return
@@ -686,16 +703,12 @@ func (lb *LB) Events() []Event {
 
 // Ticks returns how many control iterations have run.
 func (lb *LB) Ticks() int {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
-	return lb.ticks
+	return int(lb.ticks.Value())
 }
 
 // Replaced returns how many malfunctioning instances were replaced.
 func (lb *LB) Replaced() int {
-	lb.mu.Lock()
-	defer lb.mu.Unlock()
-	return lb.replaced
+	return int(lb.replaced.Value())
 }
 
 // Stats returns a snapshot of the LB's robustness counters.
@@ -703,12 +716,12 @@ func (lb *LB) Stats() Stats {
 	lb.mu.Lock()
 	defer lb.mu.Unlock()
 	return Stats{
-		Ticks:                   lb.ticks,
-		Replaced:                lb.replaced,
-		LaunchFailures:          lb.launchFailures,
-		TerminateFailures:       lb.terminateFailures,
-		TerminateRetries:        lb.terminateRetries,
-		RecoveredTerminations:   lb.recoveredTerminations,
+		Ticks:                   int(lb.ticks.Value()),
+		Replaced:                int(lb.replaced.Value()),
+		LaunchFailures:          int(lb.launchFailures.Value()),
+		TerminateFailures:       int(lb.terminateFailures.Value()),
+		TerminateRetries:        int(lb.terminateRetries.Value()),
+		RecoveredTerminations:   int(lb.recoveredTerminations.Value()),
 		OutstandingTerminations: len(lb.termRetries),
 		InFlightReplacements:    len(lb.replacing),
 	}

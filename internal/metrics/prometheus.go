@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of the text exposition
+// format this package writes.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// SanitizeName maps an arbitrary metric name onto the Prometheus
+// grammar [a-zA-Z_:][a-zA-Z0-9_:]*: every invalid rune becomes '_',
+// and a leading digit gains a '_' prefix. An empty name becomes "_".
+func SanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// sanitizeLabelName is SanitizeName without ':' (label names exclude it).
+func sanitizeLabelName(name string) string {
+	return strings.ReplaceAll(SanitizeName(name), ":", "_")
+}
+
+// escapeLabelValue escapes a label value per the text format: backslash,
+// double quote and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	b.Grow(len(v))
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string: backslash and newline.
+func escapeHelp(v string) string {
+	return strings.ReplaceAll(strings.ReplaceAll(v, `\`, `\\`), "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelPairs renders {a="x",b="y"} with sanitized names and escaped
+// values; extra appends trailing pairs already rendered (the histogram
+// le label). Empty input with no extra renders nothing.
+func labelPairs(labels []Label, extra string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(sanitizeLabelName(l.Name))
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	if extra != "" {
+		if len(sorted) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes every registered series in text exposition
+// format 0.0.4: one # HELP (when help is set) and # TYPE line per
+// family, families sorted by name, series within a family sorted by
+// label signature. Histograms expose cumulative _bucket{le=...}
+// samples (non-empty buckets plus +Inf), _sum and _count, in the
+// histogram's scaled units. Nil-receiver safe (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	return snap.WritePrometheus(w)
+}
+
+// WritePrometheus writes the snapshot in text exposition format 0.0.4.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range s.Metrics {
+		name := SanitizeName(m.Name)
+		if name != lastFamily {
+			lastFamily = name
+			if m.Help != "" {
+				b.WriteString("# HELP ")
+				b.WriteString(name)
+				b.WriteByte(' ')
+				b.WriteString(escapeHelp(m.Help))
+				b.WriteByte('\n')
+			}
+			b.WriteString("# TYPE ")
+			b.WriteString(name)
+			b.WriteByte(' ')
+			b.WriteString(m.Kind.String())
+			b.WriteByte('\n')
+		}
+		if m.Histogram == nil {
+			b.WriteString(name)
+			b.WriteString(labelPairs(m.Labels, ""))
+			b.WriteByte(' ')
+			b.WriteString(formatValue(m.Value))
+			b.WriteByte('\n')
+			continue
+		}
+		raw := m.Histogram.Raw()
+		cum := uint64(0)
+		for i, c := range raw.Buckets {
+			if c == 0 {
+				continue
+			}
+			cum += c
+			b.WriteString(name)
+			b.WriteString("_bucket")
+			b.WriteString(labelPairs(m.Labels, `le="`+formatValue(raw.UpperBound(i))+`"`))
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(cum, 10))
+			b.WriteByte('\n')
+		}
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		b.WriteString(labelPairs(m.Labels, `le="+Inf"`))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(raw.Count, 10))
+		b.WriteByte('\n')
+		b.WriteString(name)
+		b.WriteString("_sum")
+		b.WriteString(labelPairs(m.Labels, ""))
+		b.WriteByte(' ')
+		b.WriteString(formatValue(m.Histogram.Sum))
+		b.WriteByte('\n')
+		b.WriteString(name)
+		b.WriteString("_count")
+		b.WriteString(labelPairs(m.Labels, ""))
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(raw.Count, 10))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

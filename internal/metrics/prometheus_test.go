@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"evop/internal/clock"
+)
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"evop_http_requests_total": "evop_http_requests_total",
+		"portal.http/req count":    "portal_http_req_count",
+		"9lives":                   "_9lives",
+		"":                         "_",
+		"a:b":                      "a:b",
+	}
+	for in, want := range cases {
+		if got := SanitizeName(in); got != want {
+			t.Errorf("SanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheusGolden pins the exposition byte-for-byte: name
+// sanitization, label escaping, HELP/TYPE lines, cumulative histogram
+// buckets and deterministic ordering.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry(clock.NewSimulated(time.Unix(0, 0)))
+
+	reg.Counter("evop_requests_total", "Completed requests.", L("route", "/widgets/model/run")).Add(3)
+	reg.Counter("evop_requests_total", "Completed requests.", L("route", "/metrics")).Add(9)
+	reg.Gauge("evop_in_flight", "Requests being served.").Set(2)
+	// Name needing sanitization and a label value needing escaping.
+	reg.Counter("weird.name/x", "", L("path", "a\\b\"c\nd")).Inc()
+	h := reg.Histogram("evop_run_seconds", "Model run duration.", DurationScale)
+	h.RecordDuration(1500 * time.Millisecond) // bucket le=2.147483648
+	h.RecordDuration(1500 * time.Millisecond)
+	h.RecordDuration(40 * time.Millisecond) // bucket le=0.067108864
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := strings.Join([]string{
+		`# HELP evop_in_flight Requests being served.`,
+		`# TYPE evop_in_flight gauge`,
+		`evop_in_flight 2`,
+		`# HELP evop_requests_total Completed requests.`,
+		`# TYPE evop_requests_total counter`,
+		`evop_requests_total{route="/metrics"} 9`,
+		`evop_requests_total{route="/widgets/model/run"} 3`,
+		`# HELP evop_run_seconds Model run duration.`,
+		`# TYPE evop_run_seconds histogram`,
+		`evop_run_seconds_bucket{le="0.067108864"} 1`,
+		`evop_run_seconds_bucket{le="2.147483648"} 3`,
+		`evop_run_seconds_bucket{le="+Inf"} 3`,
+		`evop_run_seconds_sum 3.04`,
+		`evop_run_seconds_count 3`,
+		`# TYPE weird_name_x counter`,
+		`weird_name_x{path="a\\b\"c\nd"} 1`,
+		``,
+	}, "\n")
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestWritePrometheusParses runs a minimal line-grammar check over a
+// busier registry: every non-comment line must be
+// name{labels} value with a parseable float value.
+func TestWritePrometheusParses(t *testing.T) {
+	reg := NewRegistry(clock.NewSimulated(time.Unix(0, 0)))
+	reg.Counter("evop_a_total", "a").Add(1)
+	reg.GaugeFunc("evop_dyn", "dynamic", func() float64 { return 1.5 })
+	h := reg.Histogram("evop_lat_seconds", "", DurationScale, L("route", "/x"))
+	for i := 0; i < 10; i++ {
+		h.RecordDuration(time.Duration(i) * time.Millisecond)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	checkExpositionGrammar(t, b.String())
+}
+
+// checkExpositionGrammar asserts text-format 0.0.4 line structure.
+func checkExpositionGrammar(t *testing.T, body string) {
+	t.Helper()
+	seenSample := false
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 || !validMetricName(parts[2]) {
+				t.Fatalf("bad comment line: %q", line)
+			}
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		series, value := line[:sp], line[sp+1:]
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			name = series[:i]
+		}
+		if !validMetricName(name) {
+			t.Fatalf("invalid metric name %q in %q", name, line)
+		}
+		if value != "+Inf" && value != "-Inf" && value != "NaN" {
+			if _, err := parseFloat(value); err != nil {
+				t.Fatalf("unparseable value %q in %q: %v", value, line, err)
+			}
+		}
+		seenSample = true
+	}
+	if !seenSample {
+		t.Fatal("exposition contained no samples")
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func parseFloat(s string) (float64, error) {
+	return strconv.ParseFloat(s, 64)
+}

@@ -27,6 +27,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"evop/internal/metrics"
 )
 
 // Common errors.
@@ -125,12 +127,23 @@ type Service struct {
 	execSeq   int
 	execs     map[string]*execution
 	wg        sync.WaitGroup
+
+	// executions counts Execute requests accepted per delivery mode.
+	syncExecs  *metrics.Counter
+	asyncExecs *metrics.Counter
 }
 
 var _ http.Handler = (*Service)(nil)
 
-// NewService returns an empty WPS service with the given title.
+// NewService returns an empty WPS service with the given title and
+// private instruments.
 func NewService(title string) *Service {
+	return NewServiceWithMetrics(title, nil)
+}
+
+// NewServiceWithMetrics returns an empty WPS service whose execution
+// counters are registered in reg (nil keeps them private).
+func NewServiceWithMetrics(title string, reg *metrics.Registry) *Service {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Service{
 		title:      title,
@@ -138,6 +151,10 @@ func NewService(title string) *Service {
 		execCancel: cancel,
 		processes:  make(map[string]Process),
 		execs:      make(map[string]*execution),
+		syncExecs: reg.Counter("evop_wps_executions_total",
+			"WPS Execute operations accepted.", metrics.L("mode", "sync")),
+		asyncExecs: reg.Counter("evop_wps_executions_total",
+			"WPS Execute operations accepted.", metrics.L("mode", "async")),
 	}
 }
 
@@ -376,6 +393,7 @@ func (s *Service) executeParsed(w http.ResponseWriter, ctx context.Context, id s
 
 	if !async {
 		// Synchronous: the execution lives and dies with the HTTP request.
+		s.syncExecs.Inc()
 		outputs, err := p.Execute(ctx, inputs)
 		if err != nil {
 			writeXML(w, http.StatusOK, xmlExecuteResponse{
@@ -389,6 +407,7 @@ func (s *Service) executeParsed(w http.ResponseWriter, ctx context.Context, id s
 		return
 	}
 
+	s.asyncExecs.Inc()
 	s.mu.Lock()
 	s.execSeq++
 	ex := &execution{

@@ -1,0 +1,185 @@
+package portal
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"evop/internal/core"
+	"evop/internal/metrics"
+)
+
+// TestMetricsJSONByteCompat pins the pre-refactor /metrics JSON as a
+// strict byte prefix of the current response: unmarshalling the body
+// into the legacy response shape and re-marshalling it must reproduce
+// the response's opening bytes exactly, with the new "latency" and
+// "process" sections appended after. A reordered or renamed legacy
+// field breaks the prefix and fails here.
+func TestMetricsJSONByteCompat(t *testing.T) {
+	f := newFixture(t)
+	f.clk.Advance(2 * time.Minute)
+	// Exercise a few endpoints so the counters are non-trivial.
+	f.get(t, "/healthz")
+	f.get(t, "/sensors/morland-level-1/series?points=10")
+	code, body := f.get(t, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics = %d", code)
+	}
+
+	legacy := struct {
+		core.InfraMetrics
+		HTTP   HTTPMetrics   `json:"http"`
+		Series SeriesMetrics `json:"series"`
+	}{}
+	if err := json.Unmarshal(body, &legacy); err != nil {
+		t.Fatalf("unmarshal into legacy shape: %v", err)
+	}
+	relegacy, err := json.Marshal(legacy)
+	if err != nil {
+		t.Fatalf("re-marshal legacy shape: %v", err)
+	}
+	// Drop the closing brace: the live response continues with the new
+	// trailing sections where the legacy document ended.
+	prefix := relegacy[:len(relegacy)-1]
+	if !bytes.HasPrefix(body, prefix) {
+		t.Fatalf("legacy JSON is no longer a byte prefix of /metrics:\nwant prefix: %s\ngot body:    %.600s",
+			prefix, body)
+	}
+	rest := body[len(prefix):]
+	if !bytes.HasPrefix(rest, []byte(`,"latency":`)) {
+		t.Fatalf("new sections must start with \"latency\" after the legacy fields, got %.80s", rest)
+	}
+
+	var full struct {
+		Latency map[string]metrics.HistogramStats `json:"latency"`
+		Process metrics.ProcessStats              `json:"process"`
+	}
+	if err := json.Unmarshal(body, &full); err != nil {
+		t.Fatalf("unmarshal full response: %v", err)
+	}
+	key := `evop_http_request_seconds{route="/healthz"}`
+	hs, ok := full.Latency[key]
+	if !ok || hs.Count == 0 {
+		t.Fatalf("latency[%s] = %+v ok=%v, want recorded requests", key, hs, ok)
+	}
+	if hs.P50 < 0 || hs.P95 < hs.P50 || hs.P99 < hs.P95 || hs.Max < 0 {
+		t.Fatalf("quantiles not ordered: %+v", hs)
+	}
+	if _, ok := full.Latency["evop_series_query_seconds"]; !ok {
+		t.Fatal("latency section missing evop_series_query_seconds")
+	}
+	if full.Process.Goroutines < 1 || full.Process.HeapBytes == 0 {
+		t.Fatalf("process section = %+v, want live goroutines and heap", full.Process)
+	}
+	if full.Process.UptimeSeconds < 120 {
+		t.Fatalf("uptime = %v s, want >= the 2 simulated minutes advanced", full.Process.UptimeSeconds)
+	}
+}
+
+// TestMetricsPrometheusExposition drives ?format=prometheus end to end:
+// content type, line grammar, and series from every instrumented layer
+// (HTTP, sensor read path, push hub, run cache, LB, broker, breakers)
+// appearing in one exposition.
+func TestMetricsPrometheusExposition(t *testing.T) {
+	f := newFixture(t)
+	f.clk.Advance(2 * time.Minute)
+	f.get(t, "/healthz")
+	f.get(t, "/sensors/morland-level-1/series?points=10")
+
+	resp, err := http.Get(f.srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != metrics.PrometheusContentType {
+		t.Fatalf("content type = %q, want %q", got, metrics.PrometheusContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	body := string(raw)
+
+	for _, want := range []string{
+		"# TYPE evop_http_request_seconds histogram",
+		`evop_http_request_seconds_count{route="/healthz"}`,
+		"evop_http_in_flight",
+		"evop_sensor_series_queries_total",
+		`evop_push_published_total{hub="sensors",shard="0"}`,
+		"evop_runcache_hits_total",
+		"evop_lb_ticks_total",
+		"evop_broker_sessions_closed_total",
+		`evop_breaker_opens_total{name="openstack-lancaster"}`,
+		"evop_series_query_seconds_sum",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	checkPortalExpositionGrammar(t, body)
+}
+
+// TestMetricsAcceptNegotiation checks the representation choice: an
+// explicit ?format= always wins, and otherwise an Accept header naming
+// text/plain selects the Prometheus exposition.
+func TestMetricsAcceptNegotiation(t *testing.T) {
+	f := newFixture(t)
+	cases := []struct {
+		path, accept   string
+		wantPrometheus bool
+	}{
+		{"/metrics", "", false},
+		{"/metrics", "application/json", false},
+		{"/metrics", "text/plain", true},
+		{"/metrics", "text/plain;version=0.0.4", true},
+		{"/metrics?format=prometheus", "application/json", true},
+		{"/metrics?format=json", "text/plain", false},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(http.MethodGet, f.srv.URL+tc.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		ct := resp.Header.Get("Content-Type")
+		resp.Body.Close()
+		gotProm := ct == metrics.PrometheusContentType
+		if gotProm != tc.wantPrometheus {
+			t.Errorf("%s Accept=%q: content type %q, want prometheus=%v",
+				tc.path, tc.accept, ct, tc.wantPrometheus)
+		}
+	}
+}
+
+// checkPortalExpositionGrammar asserts text-format 0.0.4 line structure
+// over the portal's full exposition.
+func checkPortalExpositionGrammar(t *testing.T, body string) {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		value := line[sp+1:]
+		if value == "+Inf" || value == "-Inf" || value == "NaN" {
+			continue
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"runtime/debug"
 	"sync/atomic"
 	"time"
+
+	"evop/internal/metrics"
 )
 
 // This file is the portal's request pipeline: every request — widget,
@@ -99,12 +101,12 @@ func (sr *statusRecorder) Status() int {
 	return sr.status
 }
 
-// endpointStats accumulates one route's counters; guarded by Portal.epMu.
-type endpointStats struct {
-	requests    int64
-	errors      int64
-	totalMicros int64
-	maxMicros   int64
+// endpointInstruments holds one route's registered instruments: a
+// latency histogram (whose count is the request count) and an error
+// counter. The map is built in New, before traffic; no lock needed.
+type endpointInstruments struct {
+	latency *metrics.Histogram
+	errors  *metrics.Counter
 }
 
 // EndpointMetrics is one route's /metrics snapshot.
@@ -133,26 +135,26 @@ type HTTPMetrics struct {
 // instrumentation, keyed by the route pattern. All registration happens
 // in New, before the portal serves traffic.
 func (p *Portal) handle(pattern string, h http.Handler) {
-	st := &endpointStats{}
-	p.endpoints[pattern] = st
+	inst := &endpointInstruments{
+		latency: p.reg.Histogram("evop_http_request_seconds",
+			"HTTP request latency by route.", metrics.DurationScale,
+			metrics.L("route", pattern)),
+		errors: p.reg.Counter("evop_http_request_errors_total",
+			"HTTP requests answered 4xx/5xx, or that produced no response.",
+			metrics.L("route", pattern)),
+	}
+	p.endpoints[pattern] = inst
 	p.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		defer func() {
-			elapsed := time.Since(start).Microseconds()
+			inst.latency.RecordSince(start)
 			status := 0
 			if sr, ok := w.(*statusRecorder); ok {
 				status = sr.status // raw: 0 means "nothing written" (a panic)
 			}
-			p.epMu.Lock()
-			st.requests++
 			if status == 0 || status >= 400 {
-				st.errors++
+				inst.errors.Inc()
 			}
-			st.totalMicros += elapsed
-			if elapsed > st.maxMicros {
-				st.maxMicros = elapsed
-			}
-			p.epMu.Unlock()
 		}()
 		h.ServeHTTP(w, r)
 	}))
@@ -162,23 +164,25 @@ func (p *Portal) handleFunc(pattern string, h http.HandlerFunc) {
 	p.handle(pattern, h)
 }
 
-// httpMetrics snapshots the pipeline counters.
+// httpMetrics snapshots the pipeline counters. The legacy per-endpoint
+// shape (requests/errors/avgMillis/maxMillis) is derived from the route
+// latency histograms, so the JSON stays byte-compatible while the
+// histograms also feed the quantile and Prometheus views.
 func (p *Portal) httpMetrics() HTTPMetrics {
 	m := HTTPMetrics{
-		InFlight:  p.inflight.Load(),
-		Panics:    p.panics.Load(),
+		InFlight:  p.inflight.Value(),
+		Panics:    int64(p.panics.Value()),
 		Endpoints: make(map[string]EndpointMetrics, len(p.endpoints)),
 	}
-	p.epMu.Lock()
-	defer p.epMu.Unlock()
-	for pattern, st := range p.endpoints {
+	for pattern, inst := range p.endpoints {
+		hs := inst.latency.Snapshot()
 		em := EndpointMetrics{
-			Requests:  st.requests,
-			Errors:    st.errors,
-			MaxMillis: float64(st.maxMicros) / 1000,
+			Requests:  int64(hs.Count),
+			Errors:    int64(inst.errors.Value()),
+			MaxMillis: hs.MaxScaled() * 1000,
 		}
-		if st.requests > 0 {
-			em.AvgMillis = float64(st.totalMicros) / float64(st.requests) / 1000
+		if hs.Count > 0 {
+			em.AvgMillis = hs.SumScaled() / float64(hs.Count) * 1000
 		}
 		m.Endpoints[pattern] = em
 	}
@@ -206,7 +210,7 @@ func (p *Portal) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		p.inflight.Add(-1)
 		if v := recover(); v != nil {
-			p.panics.Add(1)
+			p.panics.Inc()
 			p.logger.Printf("panic %s %s rid=%s: %v\n%s", r.Method, r.URL.Path, rid, v, debug.Stack())
 			if rec.status == 0 && !rec.hijacked {
 				writeJSON(rec, http.StatusInternalServerError,

@@ -24,13 +24,13 @@ import (
 	"net/http"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"evop/internal/broker"
 	"evop/internal/core"
 	"evop/internal/geo"
 	"evop/internal/hydro/topmodel"
+	"evop/internal/metrics"
 	"evop/internal/push"
 	"evop/internal/rest"
 	"evop/internal/scenario"
@@ -60,14 +60,17 @@ type Portal struct {
 	mux    *http.ServeMux
 	logger *log.Logger
 
-	// Request-pipeline state (see middleware.go).
-	inflight  atomic.Int64
-	panics    atomic.Int64
-	epMu      sync.Mutex
-	endpoints map[string]*endpointStats
+	// reg is the observatory-wide metrics registry every portal
+	// instrument registers into (see middleware.go, series.go).
+	reg *metrics.Registry
 
-	// Series read-path counters (see series.go).
-	series seriesCounters
+	// Request-pipeline state (see middleware.go).
+	inflight  *metrics.Gauge
+	panics    *metrics.Counter
+	endpoints map[string]*endpointInstruments
+
+	// Series read-path instruments (see series.go).
+	series seriesInstruments
 
 	// liveWG counts in-flight /ws/live handlers. http.Server.Shutdown
 	// forgets hijacked connections, so ServeContext waits on this group
@@ -83,12 +86,19 @@ func New(obs *core.Observatory) (*Portal, error) {
 	if obs == nil {
 		return nil, errors.New("portal: nil observatory")
 	}
+	reg := obs.MetricsRegistry()
 	p := &Portal{
 		obs:       obs,
 		broker:    obs.Broker,
 		mux:       http.NewServeMux(),
 		logger:    log.New(io.Discard, "", 0),
-		endpoints: make(map[string]*endpointStats),
+		reg:       reg,
+		endpoints: make(map[string]*endpointInstruments),
+		inflight: reg.Gauge("evop_http_in_flight",
+			"Requests currently being served."),
+		panics: reg.Counter("evop_http_panics_total",
+			"Handler panics caught by the recovery middleware."),
+		series: newSeriesInstruments(reg),
 	}
 	p.handle("/api/", rest.NewHandler(obs.Assets))
 	p.handle("/wps", obs.WPS)
@@ -153,14 +163,46 @@ func (p *Portal) health(w http.ResponseWriter, _ *http.Request) {
 // metrics serves the operational snapshot the infrastructure operator
 // watches: instance counts, session states, cost, management activity,
 // plus the portal's own request-pipeline counters under "http". The
-// infrastructure fields stay top-level (embedded) so existing consumers
-// keep working.
-func (p *Portal) metrics(w http.ResponseWriter, _ *http.Request) {
+// infrastructure fields stay top-level (embedded) and the pre-existing
+// sections keep their exact shape, so existing consumers keep working;
+// the unified registry adds the trailing "latency" (histogram quantiles
+// by series) and "process" sections.
+//
+// ?format=prometheus — or an Accept header asking for text/plain —
+// selects the Prometheus text exposition (version 0.0.4) over the same
+// registry instead.
+func (p *Portal) metrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", metrics.PrometheusContentType)
+		_ = p.reg.WritePrometheus(w)
+		return
+	}
+	latency := make(map[string]metrics.HistogramStats)
+	for _, m := range p.reg.Snapshot().Metrics {
+		if m.Histogram != nil {
+			latency[m.SeriesID()] = *m.Histogram
+		}
+	}
 	rest.WriteJSON(w, http.StatusOK, struct {
 		core.InfraMetrics
-		HTTP   HTTPMetrics   `json:"http"`
-		Series SeriesMetrics `json:"series"`
-	}{p.obs.Metrics(), p.httpMetrics(), p.series.metrics()})
+		HTTP    HTTPMetrics                       `json:"http"`
+		Series  SeriesMetrics                     `json:"series"`
+		Latency map[string]metrics.HistogramStats `json:"latency"`
+		Process metrics.ProcessStats              `json:"process"`
+	}{p.obs.Metrics(), p.httpMetrics(), p.series.metrics(), latency, p.reg.Process()})
+}
+
+// wantsPrometheus decides the /metrics representation: an explicit
+// ?format= wins; otherwise an Accept header naming text/plain selects
+// the exposition, and everything else stays JSON.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/plain")
 }
 
 // mapLayers serves the geotagged marker layer: every sensor and every

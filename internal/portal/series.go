@@ -20,10 +20,10 @@ import (
 	"math"
 	"net/http"
 	"strconv"
-	"sync/atomic"
 	"time"
 
 	"evop/internal/httpcond"
+	"evop/internal/metrics"
 	"evop/internal/timeseries"
 )
 
@@ -40,12 +40,31 @@ const maxAggBuckets = 8192
 // fastest LEFT sampling cadence, so default buckets hold ≥1 reading.
 const defaultAggStep = 15 * time.Minute
 
-// seriesCounters tracks the series read path for /metrics.
-type seriesCounters struct {
-	notModified   atomic.Uint64
-	downsampled   atomic.Uint64
-	downsampleIn  atomic.Uint64
-	downsampleOut atomic.Uint64
+// seriesInstruments tracks the series read path for /metrics.
+type seriesInstruments struct {
+	notModified   *metrics.Counter
+	downsampled   *metrics.Counter
+	downsampleIn  *metrics.Counter
+	downsampleOut *metrics.Counter
+	// querySeconds times /sensors/<id>/series end to end (including 304
+	// short-circuits — revalidation latency is part of the read path).
+	querySeconds *metrics.Histogram
+}
+
+// newSeriesInstruments registers the series read-path instruments.
+func newSeriesInstruments(reg *metrics.Registry) seriesInstruments {
+	return seriesInstruments{
+		notModified: reg.Counter("evop_series_not_modified_total",
+			"Series requests answered 304 from the validators."),
+		downsampled: reg.Counter("evop_series_downsampled_total",
+			"Series responses that went through the downsampler."),
+		downsampleIn: reg.Counter("evop_series_downsample_in_points_total",
+			"Observations entering the downsampler."),
+		downsampleOut: reg.Counter("evop_series_downsample_out_points_total",
+			"Observations leaving the downsampler."),
+		querySeconds: reg.Histogram("evop_series_query_seconds",
+			"Series query latency.", metrics.DurationScale),
+	}
 }
 
 // SeriesMetrics is the /metrics "series" section: how often conditional
@@ -61,17 +80,19 @@ type SeriesMetrics struct {
 	DownsampleOut uint64 `json:"downsampleOutPoints"`
 }
 
-func (c *seriesCounters) metrics() SeriesMetrics {
+func (c *seriesInstruments) metrics() SeriesMetrics {
 	return SeriesMetrics{
-		NotModified:   c.notModified.Load(),
-		Downsampled:   c.downsampled.Load(),
-		DownsampleIn:  c.downsampleIn.Load(),
-		DownsampleOut: c.downsampleOut.Load(),
+		NotModified:   c.notModified.Value(),
+		Downsampled:   c.downsampled.Value(),
+		DownsampleIn:  c.downsampleIn.Value(),
+		DownsampleOut: c.downsampleOut.Value(),
 	}
 }
 
 // sensorSeries serves /sensors/<id>/series.
 func (p *Portal) sensorSeries(w http.ResponseWriter, r *http.Request, id string) {
+	start := time.Now()
+	defer func() { p.series.querySeconds.RecordSince(start) }()
 	q := r.URL.Query()
 	to := timeOrDefault(q.Get("to"), p.nowFallback())
 	from := timeOrDefault(q.Get("from"), to.Add(-24*time.Hour))
@@ -123,7 +144,7 @@ func (p *Portal) sensorSeries(w http.ResponseWriter, r *http.Request, id string)
 		strconv.Itoa(points), agg, strconv.FormatInt(int64(step), 10))
 	httpcond.Apply(w, etag, stamp.LastIngest)
 	if httpcond.Match(r, etag) {
-		p.series.notModified.Add(1)
+		p.series.notModified.Inc()
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -145,7 +166,7 @@ func (p *Portal) sensorSeries(w http.ResponseWriter, r *http.Request, id string)
 	}
 	if points > 0 {
 		out := timeseries.Downsample(view, points)
-		p.series.downsampled.Add(1)
+		p.series.downsampled.Inc()
 		p.series.downsampleIn.Add(uint64(len(view)))
 		p.series.downsampleOut.Add(uint64(len(out)))
 		view = out
@@ -256,7 +277,7 @@ func (p *Portal) downsampledSeriesJSON(id string, at time.Time, points int) ([]b
 		return nil, err
 	}
 	out := timeseries.Downsample(view, points)
-	p.series.downsampled.Add(1)
+	p.series.downsampled.Inc()
 	p.series.downsampleIn.Add(uint64(len(view)))
 	p.series.downsampleOut.Add(uint64(len(out)))
 	return flotPairsJSON(out), nil

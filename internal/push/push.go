@@ -38,8 +38,12 @@ package push
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"evop/internal/metrics"
 )
 
 // Common errors.
@@ -83,25 +87,42 @@ const (
 // Hub fans events of type T out from publishers to topic subscribers.
 type Hub[T any] struct {
 	shards []shard[T]
+	hm     *HubMetrics
 	mask   uint32
 	seq    atomic.Uint64 // publish sequence; dedupes multi-topic delivery
 	subs   atomic.Int64  // live subscriptions
 	closed atomic.Bool
 }
 
-// shard is one lock stripe of the topic registry.
+// shard is one lock stripe of the topic registry. Its counters live in
+// the HubMetrics (shared across hub generations), not on the shard.
 type shard[T any] struct {
 	mu     sync.RWMutex
 	topics map[string]map[*Subscription[T]]struct{}
 
-	published atomic.Uint64 // publish×topic pairs routed to this shard
-	delivered atomic.Uint64 // events enqueued on a subscriber
-	coalesced atomic.Uint64 // oldest-evictions on full subscriber queues
+	published *metrics.Counter // publish×topic pairs routed to this shard
+	delivered *metrics.Counter // events enqueued on a subscriber
+	coalesced *metrics.Counter // oldest-evictions on full subscriber queues
 }
 
-// NewHub returns a hub with shards lock stripes (rounded up to a power
-// of two; non-positive selects DefaultShards).
-func NewHub[T any](shards int) *Hub[T] {
+// HubMetrics owns a hub's instruments: per-shard fan-out counters and
+// the publish-to-enqueue latency histogram. It is separate from the hub
+// so an owner that replaces its hub on restart (the sensor network's
+// Stop installs a fresh hub) keeps cumulative counts, and so the
+// counters can be registered once in a metrics.Registry under the
+// owner's hub label.
+type HubMetrics struct {
+	shards  []hubShardMetrics
+	publish *metrics.Histogram
+}
+
+type hubShardMetrics struct {
+	published, delivered, coalesced *metrics.Counter
+}
+
+// roundShards normalises a shard request onto the hub's power-of-two
+// stripe count.
+func roundShards(shards int) int {
 	if shards <= 0 {
 		shards = DefaultShards
 	}
@@ -109,9 +130,66 @@ func NewHub[T any](shards int) *Hub[T] {
 	for n < shards {
 		n <<= 1
 	}
-	h := &Hub[T]{shards: make([]shard[T], n), mask: uint32(n - 1)}
+	return n
+}
+
+// NewHubMetrics builds (or, registry permitting, retrieves) the
+// instruments for a hub named hub with the given stripe count. A nil
+// registry yields private, unregistered instruments.
+func NewHubMetrics(reg *metrics.Registry, hub string, shards int) *HubMetrics {
+	n := roundShards(shards)
+	hm := &HubMetrics{
+		shards: make([]hubShardMetrics, n),
+		publish: reg.Histogram("evop_push_publish_seconds",
+			"Publish-to-enqueue time of one hub publish across all its topics.",
+			metrics.DurationScale, metrics.L("hub", hub)),
+	}
+	for i := range hm.shards {
+		labels := []metrics.Label{metrics.L("hub", hub), metrics.L("shard", strconv.Itoa(i))}
+		hm.shards[i] = hubShardMetrics{
+			published: reg.Counter("evop_push_published_total",
+				"Publish×topic pairs routed to this shard.", labels...),
+			delivered: reg.Counter("evop_push_delivered_total",
+				"Events enqueued on subscribers.", labels...),
+			coalesced: reg.Counter("evop_push_coalesced_total",
+				"Oldest-evictions on full subscriber queues.", labels...),
+		}
+	}
+	return hm
+}
+
+// Shards returns the stripe count the instruments were built for.
+func (hm *HubMetrics) Shards() int { return len(hm.shards) }
+
+// Coalesced returns the cumulative eviction count across shards — the
+// "superseded, never lost" drop total owners expose.
+func (hm *HubMetrics) Coalesced() uint64 {
+	var n uint64
+	for i := range hm.shards {
+		n += hm.shards[i].coalesced.Value()
+	}
+	return n
+}
+
+// NewHub returns a hub with shards lock stripes (rounded up to a power
+// of two; non-positive selects DefaultShards) and private, unregistered
+// instruments. Use NewHubWithMetrics to expose the counters in a
+// registry or carry them across hub generations.
+func NewHub[T any](shards int) *Hub[T] {
+	return NewHubWithMetrics[T](NewHubMetrics(nil, "", shards))
+}
+
+// NewHubWithMetrics returns a hub recording through hm; the stripe
+// count is hm's. Successive hubs built over the same HubMetrics share
+// cumulative counters.
+func NewHubWithMetrics[T any](hm *HubMetrics) *Hub[T] {
+	n := len(hm.shards)
+	h := &Hub[T]{shards: make([]shard[T], n), hm: hm, mask: uint32(n - 1)}
 	for i := range h.shards {
 		h.shards[i].topics = make(map[string]map[*Subscription[T]]struct{})
+		h.shards[i].published = hm.shards[i].published
+		h.shards[i].delivered = hm.shards[i].delivered
+		h.shards[i].coalesced = hm.shards[i].coalesced
 	}
 	return h
 }
@@ -286,24 +364,28 @@ func (h *Hub[T]) Publish(v T, topics ...string) int {
 	if h.closed.Load() || len(topics) == 0 {
 		return 0
 	}
+	start := time.Now()
 	seq := h.seq.Add(1)
 	n := 0
 	for _, t := range topics {
 		sh := h.shardFor(t)
-		sh.published.Add(1)
+		sh.published.Inc()
 		sh.mu.RLock()
 		for s := range sh.topics[t] {
 			delivered, coalesced := s.deliver(seq, v)
 			if delivered {
-				sh.delivered.Add(1)
+				sh.delivered.Inc()
 				n++
 			}
 			if coalesced {
-				sh.coalesced.Add(1)
+				sh.coalesced.Inc()
 			}
 		}
 		sh.mu.RUnlock()
 	}
+	// Publish-to-enqueue latency: how long the newest event took to reach
+	// every subscriber queue. Lock-free, 0 allocs — safe on the hot path.
+	h.hm.publish.RecordSince(start)
 	return n
 }
 
@@ -371,9 +453,9 @@ func (h *Hub[T]) Stats() Stats {
 	for i := range h.shards {
 		sh := &h.shards[i]
 		ss := ShardStats{
-			Published: sh.published.Load(),
-			Delivered: sh.delivered.Load(),
-			Coalesced: sh.coalesced.Load(),
+			Published: sh.published.Value(),
+			Delivered: sh.delivered.Value(),
+			Coalesced: sh.coalesced.Value(),
 		}
 		sh.mu.RLock()
 		ss.Topics = len(sh.topics)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"evop/internal/clock"
+	"evop/internal/metrics"
 )
 
 // ErrBadConfig indicates an invalid breaker configuration.
@@ -66,6 +67,11 @@ type BreakerConfig struct {
 	HalfOpenProbes int
 	// Clock supplies time; required.
 	Clock clock.Clock
+	// Name identifies this breaker in the metrics registry (the label
+	// value of evop_breaker_*_total); empty is allowed.
+	Name string
+	// Metrics, when non-nil, registers the breaker's counters.
+	Metrics *metrics.Registry
 }
 
 func (c *BreakerConfig) setDefaults() {
@@ -105,10 +111,10 @@ type Breaker struct {
 	probeSuccesses int
 	reopenAt       time.Time
 	// stats
-	opens     int
-	successes int
-	failures  int
-	rejected  int
+	opens     *metrics.Counter
+	successes *metrics.Counter
+	failures  *metrics.Counter
+	rejected  *metrics.Counter
 }
 
 // NewBreaker builds a breaker; zero config fields select the defaults.
@@ -120,7 +126,20 @@ func NewBreaker(cfg BreakerConfig) (*Breaker, error) {
 	case cfg.FailureThreshold < 0 || cfg.OpenTimeout < 0 || cfg.HalfOpenProbes < 0:
 		return nil, fmt.Errorf("negative threshold/timeout/probes: %w", ErrBadConfig)
 	}
-	return &Breaker{cfg: cfg, state: Closed}, nil
+	reg := cfg.Metrics
+	name := metrics.L("name", cfg.Name)
+	return &Breaker{
+		cfg:   cfg,
+		state: Closed,
+		opens: reg.Counter("evop_breaker_opens_total",
+			"Circuit-breaker trips to the open state.", name),
+		successes: reg.Counter("evop_breaker_successes_total",
+			"Calls reported successful through the breaker.", name),
+		failures: reg.Counter("evop_breaker_failures_total",
+			"Calls reported failed through the breaker.", name),
+		rejected: reg.Counter("evop_breaker_rejected_total",
+			"Calls fast-failed while the breaker was open or probing.", name),
+	}, nil
 }
 
 // Allow reports whether a call may proceed now. In the open state it
@@ -132,7 +151,7 @@ func (b *Breaker) Allow() bool {
 	switch b.state {
 	case Open:
 		if b.cfg.Clock.Now().Before(b.reopenAt) {
-			b.rejected++
+			b.rejected.Inc()
 			return false
 		}
 		b.state = HalfOpen
@@ -141,7 +160,7 @@ func (b *Breaker) Allow() bool {
 		return true
 	case HalfOpen:
 		if b.probeInFlight {
-			b.rejected++
+			b.rejected.Inc()
 			return false
 		}
 		b.probeInFlight = true
@@ -155,7 +174,7 @@ func (b *Breaker) Allow() bool {
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.successes++
+	b.successes.Inc()
 	switch b.state {
 	case Closed:
 		b.consecFails = 0
@@ -176,7 +195,7 @@ func (b *Breaker) Success() {
 func (b *Breaker) Failure() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.failures++
+	b.failures.Inc()
 	switch b.state {
 	case Closed:
 		b.consecFails++
@@ -193,7 +212,7 @@ func (b *Breaker) Failure() {
 // tripLocked opens the breaker; the lock is held.
 func (b *Breaker) tripLocked() {
 	b.state = Open
-	b.opens++
+	b.opens.Inc()
 	b.reopenAt = b.cfg.Clock.Now().Add(b.cfg.OpenTimeout)
 }
 
@@ -212,9 +231,9 @@ func (b *Breaker) Stats() BreakerStats {
 		State:               b.state,
 		StateName:           b.state.String(),
 		ConsecutiveFailures: b.consecFails,
-		Opens:               b.opens,
-		Successes:           b.successes,
-		Failures:            b.failures,
-		Rejected:            b.rejected,
+		Opens:               int(b.opens.Value()),
+		Successes:           int(b.successes.Value()),
+		Failures:            int(b.failures.Value()),
+		Rejected:            int(b.rejected.Value()),
 	}
 }

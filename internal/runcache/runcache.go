@@ -25,6 +25,8 @@ import (
 	"container/list"
 	"context"
 	"sync"
+
+	"evop/internal/metrics"
 )
 
 // Outcome classifies how a Do call was satisfied.
@@ -88,7 +90,7 @@ type Cache[V any] struct {
 	inflight map[string]*flight[V]
 	gen      uint64 // bumped by Purge to drop stale in-flight results
 
-	hits, misses, coalesced, canceled, evictions int64
+	hits, misses, coalesced, canceled, evictions *metrics.Counter
 }
 
 type entry[V any] struct {
@@ -109,8 +111,15 @@ type flight[V any] struct {
 }
 
 // New returns a cache holding at most capacity entries; capacities below
-// one are raised to one.
+// one are raised to one. Its counters are private; use NewWithMetrics to
+// expose them in a registry.
 func New[V any](capacity int) *Cache[V] {
+	return NewWithMetrics[V](capacity, nil)
+}
+
+// NewWithMetrics returns a cache whose outcome counters are registered
+// in reg as evop_runcache_*_total (nil keeps them private).
+func NewWithMetrics[V any](capacity int, reg *metrics.Registry) *Cache[V] {
 	if capacity < 1 {
 		capacity = 1
 	}
@@ -119,6 +128,16 @@ func New[V any](capacity int) *Cache[V] {
 		ll:       list.New(),
 		byKey:    make(map[string]*list.Element),
 		inflight: make(map[string]*flight[V]),
+		hits: reg.Counter("evop_runcache_hits_total",
+			"Run-cache lookups served from a cached result."),
+		misses: reg.Counter("evop_runcache_misses_total",
+			"Run-cache lookups that started a new computation."),
+		coalesced: reg.Counter("evop_runcache_coalesced_total",
+			"Run-cache lookups that joined an in-flight computation."),
+		canceled: reg.Counter("evop_runcache_canceled_total",
+			"Run-cache waits abandoned by caller context cancellation."),
+		evictions: reg.Counter("evop_runcache_evictions_total",
+			"Run-cache entries evicted at capacity."),
 	}
 }
 
@@ -137,21 +156,21 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func(ctx context.
 	c.mu.Lock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
-		c.hits++
+		c.hits.Inc()
 		val := el.Value.(*entry[V]).val
 		c.mu.Unlock()
 		return val, Hit, nil
 	}
 	if err := ctx.Err(); err != nil {
 		// Never start or join a flight on behalf of a dead request.
-		c.canceled++
+		c.canceled.Inc()
 		c.mu.Unlock()
 		var zero V
 		return zero, Canceled, err
 	}
 	if fl, ok := c.inflight[key]; ok {
 		fl.waiters++
-		c.coalesced++
+		c.coalesced.Inc()
 		c.mu.Unlock()
 		return c.wait(ctx, key, fl, Coalesced)
 	}
@@ -162,7 +181,7 @@ func (c *Cache[V]) Do(ctx context.Context, key string, compute func(ctx context.
 	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	fl := &flight[V]{done: make(chan struct{}), cancel: cancel, waiters: 1}
 	c.inflight[key] = fl
-	c.misses++
+	c.misses.Inc()
 	gen := c.gen
 	c.mu.Unlock()
 
@@ -205,7 +224,7 @@ func (c *Cache[V]) wait(ctx context.Context, key string, fl *flight[V], outcome 
 				delete(c.inflight, key)
 			}
 		}
-		c.canceled++
+		c.canceled.Inc()
 		c.mu.Unlock()
 		var zero V
 		return zero, Canceled, ctx.Err()
@@ -237,7 +256,7 @@ func (c *Cache[V]) store(key string, val V) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.byKey, oldest.Value.(*entry[V]).key)
-		c.evictions++
+		c.evictions.Inc()
 	}
 }
 
@@ -265,11 +284,11 @@ func (c *Cache[V]) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Coalesced: c.coalesced,
-		Canceled:  c.canceled,
-		Evictions: c.evictions,
+		Hits:      int64(c.hits.Value()),
+		Misses:    int64(c.misses.Value()),
+		Coalesced: int64(c.coalesced.Value()),
+		Canceled:  int64(c.canceled.Value()),
+		Evictions: int64(c.evictions.Value()),
 		Size:      c.ll.Len(),
 	}
 }

@@ -21,11 +21,11 @@ import (
 	"fmt"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"evop/internal/clock"
 	"evop/internal/geo"
+	"evop/internal/metrics"
 	"evop/internal/push"
 	"evop/internal/timeseries"
 )
@@ -209,6 +209,12 @@ type Network struct {
 	// plain Subscribe feed ride the same delivery path.
 	hub *push.Hub[Reading]
 
+	// hubMetrics owns the hub's counters across hub generations (Stop
+	// closes every subscription and installs a fresh hub so the network
+	// can be restarted); sharing the instruments keeps the coalesced
+	// total cumulative without a separate carry-over field.
+	hubMetrics *push.HubMetrics
+
 	// mu guards registration, lifecycle, the hub pointer and the
 	// network-wide newest reading. Per-sensor data lives on the shards;
 	// read queries take mu only briefly (RLock) to resolve id → shard.
@@ -219,10 +225,6 @@ type Network struct {
 	running    bool
 	stops      []func() bool
 	frameLimit int
-	// droppedBase carries the coalesced-delivery total across hub
-	// generations (Stop closes every subscription and installs a fresh
-	// hub so the network can be restarted).
-	droppedBase uint64
 	// newest is the most recent reading across the whole network,
 	// maintained on ingest so "what time is it, by the data?" queries
 	// (the portal's now-fallback on every series/fusion request) are O(1)
@@ -230,23 +232,40 @@ type Network struct {
 	newest    Reading
 	hasNewest bool
 
-	// Read-path counters (ReadStats).
-	seriesQueries   atomic.Uint64
-	aggQueries      atomic.Uint64
-	rollupFallbacks atomic.Uint64
+	// Read-path counters (ReadStats), registered in the observatory's
+	// metrics registry when the network is built with one.
+	seriesQueries   *metrics.Counter
+	aggQueries      *metrics.Counter
+	rollupFallbacks *metrics.Counter
 }
 
-// NewNetwork returns an empty network on the given clock.
+// NewNetwork returns an empty network on the given clock with private,
+// unregistered instruments.
 func NewNetwork(clk clock.Clock) (*Network, error) {
+	return NewNetworkWithMetrics(clk, nil)
+}
+
+// NewNetworkWithMetrics returns an empty network recording its read-path
+// counters and push-hub fan-out instruments in reg (nil keeps them
+// private).
+func NewNetworkWithMetrics(clk clock.Clock, reg *metrics.Registry) (*Network, error) {
 	if clk == nil {
 		return nil, fmt.Errorf("nil clock: %w", ErrBadSensor)
 	}
+	hm := push.NewHubMetrics(reg, "sensors", push.DefaultShards)
 	return &Network{
 		clk:        clk,
-		hub:        push.NewHub[Reading](push.DefaultShards),
+		hub:        push.NewHubWithMetrics[Reading](hm),
+		hubMetrics: hm,
 		sensors:    make(map[string]Sensor),
 		shards:     make(map[string]*shard),
 		frameLimit: DefaultFrameRetention,
+		seriesQueries: reg.Counter("evop_sensor_series_queries_total",
+			"Zero-copy series window views served."),
+		aggQueries: reg.Counter("evop_sensor_aggregate_queries_total",
+			"Rollup-index aggregate queries."),
+		rollupFallbacks: reg.Counter("evop_sensor_rollup_fallbacks_total",
+			"Aggregate queries served by a raw scan (unindexed history)."),
 	}, nil
 }
 
@@ -412,8 +431,7 @@ func (n *Network) Stop() {
 	}
 	n.stops = nil
 	old := n.hub
-	n.droppedBase += old.Stats().Coalesced
-	n.hub = push.NewHub[Reading](push.DefaultShards)
+	n.hub = push.NewHubWithMetrics[Reading](n.hubMetrics)
 	n.mu.Unlock()
 	// Close subscriptions outside n.mu: CloseAll takes per-subscription
 	// locks that publishers (which never hold n.mu) also take.
@@ -458,9 +476,9 @@ func (n *Network) SubscribeTopics(queue int, topics ...string) (*push.Subscripti
 // Dropped reports readings dropped (coalesced away) on slow subscriber
 // queues, across the network's lifetime.
 func (n *Network) Dropped() int {
-	n.mu.RLock()
-	defer n.mu.RUnlock()
-	return int(n.droppedBase + n.hub.Stats().Coalesced)
+	// The hub metrics are shared across hub generations, so the coalesced
+	// total is cumulative without any carry-over bookkeeping.
+	return int(n.hubMetrics.Coalesced())
 }
 
 // PushStats returns the live-feed hub's counters (subscribers,
@@ -603,9 +621,9 @@ type ReadStats struct {
 // ReadStats returns the read path counters.
 func (n *Network) ReadStats() ReadStats {
 	return ReadStats{
-		SeriesQueries:    n.seriesQueries.Load(),
-		AggregateQueries: n.aggQueries.Load(),
-		RollupFallbacks:  n.rollupFallbacks.Load(),
+		SeriesQueries:    n.seriesQueries.Value(),
+		AggregateQueries: n.aggQueries.Value(),
+		RollupFallbacks:  n.rollupFallbacks.Value(),
 	}
 }
 

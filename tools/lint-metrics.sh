@@ -1,0 +1,44 @@
+#!/bin/sh
+# lint-metrics: forbid new raw atomic counters outside internal/metrics.
+#
+# Every operational counter belongs in the unified registry
+# (internal/metrics) so it shows up in /metrics JSON and the Prometheus
+# exposition with a name, help text and labels. A raw atomic.Uint64 /
+# atomic.Int64 in production code is almost always a counter that should
+# be a metrics.Counter or metrics.Gauge instead.
+#
+# The allowlist below is the closed set of legitimate non-metric atomics
+# (sequence generators and internal bookkeeping that are not
+# observability counters). Additions to it need a review, not a reflex.
+set -eu
+cd "$(dirname "$0")/.."
+
+# path:reason pairs, one per line.
+allow='
+internal/push/push.go          publish sequence + live-subscription bookkeeping, not counters
+internal/portal/middleware.go  request-ID sequence generator
+internal/ws/handshake.go       connection sequence generator
+'
+
+allow_paths=$(printf '%s\n' "$allow" | awk 'NF {print $1}')
+
+hits=$(grep -rn 'atomic\.\(Uint64\|Int64\)' --include='*.go' internal cmd evop.go 2>/dev/null |
+	grep -v '_test\.go:' |
+	grep -v '^internal/metrics/' || true)
+
+bad=''
+for path in $allow_paths; do
+	hits=$(printf '%s\n' "$hits" | grep -v "^$path:" || true)
+done
+bad=$(printf '%s\n' "$hits" | grep . || true)
+
+if [ -n "$bad" ]; then
+	echo 'lint-metrics: raw atomic counters outside internal/metrics:' >&2
+	printf '%s\n' "$bad" >&2
+	echo >&2
+	echo 'Use a metrics.Counter / metrics.Gauge from the observatory' >&2
+	echo 'registry instead, or (for a genuine non-metric atomic) add the' >&2
+	echo 'file to the allowlist in tools/lint-metrics.sh with a reason.' >&2
+	exit 1
+fi
+echo 'lint-metrics: ok'
