@@ -26,7 +26,8 @@ check:
 # deterministic and free of ordering dependencies.
 chaos:
 	$(GO) test -race -shuffle=on -count=2 -run 'Chaos|Fault|Breaker|Backoff|Suspend' \
-		./internal/loadbalancer ./internal/cloud/... ./internal/broker ./internal/resilience
+		./internal/loadbalancer ./internal/cloud/... ./internal/broker ./internal/resilience \
+		./internal/admission
 
 # lint-metrics forbids raw atomic counters outside internal/metrics —
 # operational counters belong in the unified registry so they surface in
@@ -50,3 +51,4 @@ fuzz-smoke:
 	$(GO) test -fuzz='^FuzzParseFlotJSON$$' -fuzztime 10s ./internal/timeseries
 	$(GO) test -fuzz='^FuzzReadCSV$$' -fuzztime 10s ./internal/timeseries
 	$(GO) test -fuzz='^FuzzRollupVsNaive$$' -fuzztime 10s ./internal/timeseries
+	$(GO) test -fuzz='^FuzzTokenBucket$$' -fuzztime 10s ./internal/admission

@@ -15,7 +15,8 @@ go test -run='^$' -bench=. -benchtime=1x ./...
 # tests, twice under race in shuffled order — recovery must be
 # deterministic and data-race free.
 go test -race -shuffle=on -count=2 -run 'Chaos|Fault|Breaker|Backoff|Suspend' \
-	./internal/loadbalancer ./internal/cloud/... ./internal/broker ./internal/resilience
+	./internal/loadbalancer ./internal/cloud/... ./internal/broker ./internal/resilience \
+	./internal/admission
 # Fuzz smoke tier: run every fuzzer briefly on fresh mutations — catches
 # parser regressions the seeded corpus alone would miss. One -fuzz
 # pattern per invocation (go test requires it to match exactly one).
@@ -27,3 +28,6 @@ go test -fuzz='^FuzzReadCSV$' -fuzztime 10s ./internal/timeseries
 # Differential fuzzer: the rollup index must agree with the naive scan
 # for arbitrary ingest orders, cadences and query windows.
 go test -fuzz='^FuzzRollupVsNaive$' -fuzztime 10s ./internal/timeseries
+# Token-bucket invariant fuzzer: client table stays LRU-bounded and
+# every bucket stays within [0, burst] for arbitrary op/advance streams.
+go test -fuzz='^FuzzTokenBucket$' -fuzztime 10s ./internal/admission

@@ -1,0 +1,31 @@
+package admission
+
+import (
+	"context"
+	"testing"
+
+	"evop/internal/clock"
+)
+
+// BenchmarkAdmissionHotPath measures the steady-state admit/release
+// round trip for one warm client. The CI bench smoke tier runs it every
+// build; the companion TestAdmitHotPathAllocs pins it at 0 allocs/op.
+func BenchmarkAdmissionHotPath(b *testing.B) {
+	c, err := New(Config{
+		Clock:         clock.NewReal(),
+		RatePerSecond: 1e12,
+		Burst:         1e12,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Admit(ctx, Live, "10.0.0.1"); err != nil {
+			b.Fatal(err)
+		}
+		c.Release(Live)
+	}
+}

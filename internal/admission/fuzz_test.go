@@ -1,0 +1,58 @@
+package admission
+
+import (
+	"testing"
+	"time"
+
+	"evop/internal/clock"
+)
+
+// FuzzTokenBucket drives one controller's client buckets with an
+// arbitrary interleaving of clock advances and requests from a handful
+// of clients, checking the bucket invariants after every operation:
+// tokens never go negative, never exceed the burst, and the client
+// table never outgrows its LRU bound.
+func FuzzTokenBucket(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{10, 10, 10, 0, 200, 0, 7, 7, 7, 7})
+	f.Add([]byte{255, 254, 253, 1, 1, 1, 128, 64, 32})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		clk := clock.NewSimulated(time.Date(2019, 7, 1, 0, 0, 0, 0, time.UTC))
+		c, err := New(Config{
+			Clock:         clk,
+			RatePerSecond: 5,
+			Burst:         3,
+			MaxClients:    4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients := [6]string{"a", "b", "c", "d", "e", "f"}
+		for _, op := range data {
+			switch op % 3 {
+			case 0:
+				// Irregular advances exercise fractional refill.
+				clk.Advance(time.Duration(op) * 37 * time.Millisecond)
+			default:
+				c.AllowRate(Live, clients[int(op)%len(clients)]) //nolint:errcheck
+			}
+			c.mu.Lock()
+			if c.lru.Len() > c.cfg.MaxClients {
+				c.mu.Unlock()
+				t.Fatalf("client table grew to %d past bound %d", c.lru.Len(), c.cfg.MaxClients)
+			}
+			for e := c.lru.Front(); e != nil; e = e.Next() {
+				b := e.Value.(*bucket)
+				if b.tokens < 0 {
+					c.mu.Unlock()
+					t.Fatalf("client %q tokens went negative: %v", b.key, b.tokens)
+				}
+				if b.tokens > c.cfg.Burst {
+					c.mu.Unlock()
+					t.Fatalf("client %q tokens %v exceed burst %v", b.key, b.tokens, c.cfg.Burst)
+				}
+			}
+			c.mu.Unlock()
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"evop/internal/admission"
 	"evop/internal/broker"
 	"evop/internal/catchment"
 	"evop/internal/clock"
@@ -80,6 +81,10 @@ type Config struct {
 	// differ). Chaos experiments schedule outages and tune rates through
 	// FaultyPrivate / FaultyPublic on the assembled observatory.
 	Faults *cloud.FaultSpec
+	// Admission tunes the portal's front-door overload protection; nil
+	// uses the admission package defaults. Clock and Metrics are always
+	// supplied by the assembly and ignored if set here.
+	Admission *admission.Config
 }
 
 // DefaultConfig returns a config suitable for experiments: a small
@@ -145,6 +150,9 @@ type Observatory struct {
 	Assets *rest.Store
 	// Workflows executes composed experiments (the future-work feature).
 	Workflows *workflow.Service
+	// Admission is the front-door overload gate the portal consults
+	// before running any handler.
+	Admission *admission.Controller
 
 	mu       sync.Mutex
 	forcings map[string]hydro.Forcing
@@ -190,7 +198,20 @@ func New(cfg Config) (*Observatory, error) {
 			"Uncached model simulation duration.", metrics.DurationScale),
 	}
 
+	// Front-door admission gate. The registry and clock are the
+	// observatory's own, whatever the caller put in the template config.
+	acfg := admission.Config{}
+	if cfg.Admission != nil {
+		acfg = *cfg.Admission
+	}
+	acfg.Clock = cfg.Clock
+	acfg.Metrics = reg
 	var err error
+	o.Admission, err = admission.New(acfg)
+	if err != nil {
+		return nil, fmt.Errorf("building admission gate: %w", err)
+	}
+
 	o.Private, err = cloud.NewProvider(cloud.Config{
 		Name: "openstack-lancaster", Kind: cloud.Private,
 		MaxInstances: cfg.PrivateCapacity, BootDelay: 30 * time.Second,
@@ -611,6 +632,14 @@ func (r RunRequest) cacheKey() string {
 	return b.String()
 }
 
+// familyKey groups run requests whose results are acceptable substitutes
+// under degradation: same catchment, scenario, model and dataset, but
+// any storm window or parameter tweak. It keys the run cache's stale
+// fallback index.
+func (r RunRequest) familyKey() string {
+	return fmt.Sprintf("c=%s|s=%s|m=%s|d=%s", r.CatchmentID, r.ScenarioID, r.Model, r.RainDatasetID)
+}
+
 // RunModel executes a model run on demand. This is the computation the
 // WPS processes and the portal's modelling widget invoke. Identical
 // requests are answered from a bounded LRU cache, and concurrent
@@ -635,11 +664,22 @@ func (o *Observatory) RunModelCached(req RunRequest) (*RunResult, runcache.Outco
 	return o.RunModelCachedContext(context.Background(), req)
 }
 
-// RunModelCachedContext is RunModelCached under a caller context.
+// RunModelCachedContext is RunModelCached under a caller context. Every
+// completed run also refreshes its family's stale fallback (see
+// StaleRun).
 func (o *Observatory) RunModelCachedContext(ctx context.Context, req RunRequest) (*RunResult, runcache.Outcome, error) {
-	return o.runs.Do(ctx, req.cacheKey(), func(ctx context.Context) (*RunResult, error) {
+	return o.runs.DoFamily(ctx, req.cacheKey(), req.familyKey(), func(ctx context.Context) (*RunResult, error) {
 		return o.runModel(ctx, req)
 	})
+}
+
+// StaleRun returns the last completed run for the request's family
+// (same catchment, scenario, model and dataset — any storm window or
+// parameters), if one exists. The portal serves it, marked degraded,
+// when the model-run class is saturated: a stale hydrograph widens the
+// circle further than a 503.
+func (o *Observatory) StaleRun(req RunRequest) (*RunResult, bool) {
+	return o.runs.Stale(req.familyKey())
 }
 
 // runModel is the uncached simulation behind RunModel. Its ctx is the

@@ -1,6 +1,7 @@
 package loadbalancer
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -251,7 +252,6 @@ func TestFaultyIdleTerminateCancelledOnReuse(t *testing.T) {
 	if extra.State() != cloud.StateRunning {
 		t.Fatalf("busy instance state = %v, want running", extra.State())
 	}
-	_ = resilience.Closed // keep import honest until the scenario test lands
 }
 
 // TestFaultySuspendResumeUnderLaunchFaults covers the suspend→resume arc
@@ -377,6 +377,19 @@ func runChaosScenario(t *testing.T) (*faultyHarness, chaosOutcome) {
 	ids = append(ids, late.ID)
 	h.settle(4) // the outage window closes during these ticks
 
+	// Cloudburst-plus-flash-crowd: while the burst is still absorbing the
+	// outage, a crowd of users arrives inside a single tick — the widened
+	// circle of engagement showing up exactly when capacity is scarcest.
+	// All of them must eventually be served on public capacity.
+	for i := 0; i < 8; i++ {
+		s, err := h.brk.Connect(fmt.Sprintf("crowd-%02d", i), "topmodel")
+		if err != nil {
+			t.Fatalf("Connect crowd %d: %v", i, err)
+		}
+		ids = append(ids, s.ID)
+	}
+	h.settle(4)
+
 	// Full heal, then time to converge: probes close the breaker, queued
 	// terminations drain, suspended sessions rebind.
 	h.fpriv.SetErrorRates(0, 0, 0)
@@ -459,6 +472,12 @@ func TestChaosOutageCloudburstRecovery(t *testing.T) {
 	if countEvents(out.events, "launch", "(public)") == 0 &&
 		countEvents(out.events, "replace", "") == 0 {
 		t.Fatal("no public launch or replacement recorded: no cloudburst happened")
+	}
+	// The flash crowd needed more public capacity than the lone late user:
+	// at least two public launches, or the crowd rode a burst that never
+	// scaled.
+	if n := countEvents(out.events, "launch", "(public)"); n < 2 {
+		t.Fatalf("public launches = %d, want >=2 for the flash crowd", n)
 	}
 	if out.privFaults.Outages == 0 {
 		t.Fatal("outage window injected no faults: scenario timing is off")

@@ -164,6 +164,27 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Since returns the interval view of the histogram between prev and s:
+// bucket counts, Count and Sum are the deltas of the two cumulative
+// snapshots. Max cannot be decomposed, so the interval inherits s's
+// cumulative Max — Quantile on the delta therefore clamps against an
+// upper bound, never an underestimate. A prev bucket larger than s's
+// (snapshots from different histograms) clamps to zero rather than
+// wrapping.
+func (s HistogramSnapshot) Since(prev HistogramSnapshot) HistogramSnapshot {
+	d := HistogramSnapshot{Max: s.Max, scale: s.scale}
+	for i := range s.Buckets {
+		if s.Buckets[i] > prev.Buckets[i] {
+			d.Buckets[i] = s.Buckets[i] - prev.Buckets[i]
+			d.Count += d.Buckets[i]
+		}
+	}
+	if s.Sum > prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+	}
+	return d
+}
+
 // Scale returns the divisor applied to raw units on exposition.
 func (s HistogramSnapshot) Scale() float64 {
 	if s.scale <= 0 {

@@ -69,6 +69,44 @@ func TestHistogramZeroAndEmpty(t *testing.T) {
 	}
 }
 
+func TestHistogramSnapshotSince(t *testing.T) {
+	h := NewHistogram(1)
+	for i := 0; i < 10; i++ {
+		h.Record(100)
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 5; i++ {
+		h.Record(3000)
+	}
+	cur := h.Snapshot()
+
+	d := cur.Since(prev)
+	if d.Count != 5 {
+		t.Fatalf("interval count = %d, want 5", d.Count)
+	}
+	if d.Sum != 5*3000 {
+		t.Fatalf("interval sum = %d, want 15000", d.Sum)
+	}
+	// Only the new observations' bucket carries interval counts.
+	for i, b := range d.Buckets {
+		if b != 0 && (i < 11 || i > 12) {
+			t.Fatalf("bucket %d = %d, want interval counts only around 3000", i, b)
+		}
+	}
+	// The interval p95 reflects the new observations, not the old ones.
+	if q := d.Quantile(0.95); q < 1024 {
+		t.Fatalf("interval p95 = %v, want >= 1024 (the 3000s)", q)
+	}
+	// Same snapshot twice → an empty delta, not underflow.
+	if z := cur.Since(cur); z.Count != 0 || z.Sum != 0 {
+		t.Fatalf("self delta = count %d sum %d, want zeros", z.Count, z.Sum)
+	}
+	// A stale "prev" from a newer snapshot clamps instead of wrapping.
+	if z := prev.Since(cur); z.Count != 0 || z.Sum != 0 {
+		t.Fatalf("inverted delta = count %d sum %d, want clamped zeros", z.Count, z.Sum)
+	}
+}
+
 func TestHistogramDurationScale(t *testing.T) {
 	h := NewHistogram(DurationScale)
 	h.RecordDuration(2 * time.Second)

@@ -10,6 +10,21 @@
 //	?service=SOS&request=GetObservation&procedure=<sensorId>
 //	    [&from=RFC3339&to=RFC3339]
 //
+// plus the XML POST binding for InsertObservation — the write half of
+// the paper's "citizen sensing" ambition, letting community-deployed
+// gauges push readings in:
+//
+//	POST <sos:InsertObservation>
+//	       <om:Observation>
+//	         <om:procedure>morland-level-1</om:procedure>
+//	         <om:samplingTime>2019-07-01T00:00:00Z</om:samplingTime>
+//	         <om:result>1.25</om:result>
+//	       </om:Observation>
+//	     </sos:InsertObservation>
+//
+// Insert bodies are bounded (an observation is small); an oversized
+// document is refused with 413 before being read.
+//
 // GetObservation windows are half-open, [from, to): an observation
 // stamped exactly `from` is included, one stamped exactly `to` is not.
 // When `to` is omitted the window runs through the present inclusively —
@@ -25,6 +40,7 @@ package sos
 import (
 	"bufio"
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -116,8 +132,32 @@ func writeException(w http.ResponseWriter, status int, code, text string) {
 	writeXML(w, status, doc)
 }
 
-// ServeHTTP implements the KVP GET binding.
+// maxInsertBytes bounds an InsertObservation document: one observation
+// plus generous markup headroom.
+const maxInsertBytes = 64 << 10
+
+// xmlInsertObservation is the decoded InsertObservation request. Tags
+// are namespace-agnostic so both prefixed (om:procedure) and bare
+// documents parse.
+type xmlInsertObservation struct {
+	XMLName   xml.Name `xml:"InsertObservation"`
+	Procedure string   `xml:"Observation>procedure"`
+	Time      string   `xml:"Observation>samplingTime"`
+	Value     *float64 `xml:"Observation>result"`
+}
+
+type xmlInsertResponse struct {
+	XMLName    xml.Name `xml:"sos:InsertObservationResponse"`
+	AssignedID string   `xml:"sos:AssignedObservationId"`
+}
+
+// ServeHTTP dispatches the KVP GET binding and the InsertObservation
+// POST binding.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		s.insertObservation(w, r)
+		return
+	}
 	q := r.URL.Query()
 	if !strings.EqualFold(q.Get("service"), "SOS") {
 		writeException(w, http.StatusBadRequest, "InvalidParameterValue", "service must be SOS")
@@ -133,6 +173,52 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeException(w, http.StatusBadRequest, "OperationNotSupported", q.Get("request"))
 	}
+}
+
+// insertObservation handles the POST binding: decode the bounded XML
+// document, validate it, and push the observation into the sensor
+// network's ingest path.
+func (s *Service) insertObservation(w http.ResponseWriter, r *http.Request) {
+	var doc xmlInsertObservation
+	body := http.MaxBytesReader(w, r.Body, maxInsertBytes)
+	if err := xml.NewDecoder(body).Decode(&doc); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeException(w, http.StatusRequestEntityTooLarge, "InvalidRequest",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeException(w, http.StatusBadRequest, "InvalidRequest", "malformed InsertObservation document")
+		return
+	}
+	if doc.Procedure == "" {
+		writeException(w, http.StatusBadRequest, "MissingParameterValue", "om:procedure is required")
+		return
+	}
+	if doc.Value == nil {
+		writeException(w, http.StatusBadRequest, "MissingParameterValue", "om:result is required")
+		return
+	}
+	at, err := time.Parse(time.RFC3339, doc.Time)
+	if err != nil {
+		writeException(w, http.StatusBadRequest, "InvalidParameterValue", "bad om:samplingTime")
+		return
+	}
+	if err := s.network.Ingest(doc.Procedure, at, *doc.Value); err != nil {
+		switch {
+		case errors.Is(err, sensor.ErrNotFound):
+			writeException(w, http.StatusNotFound, "InvalidParameterValue", "no procedure "+doc.Procedure)
+		case errors.Is(err, sensor.ErrBadSensor):
+			writeException(w, http.StatusBadRequest, "InvalidParameterValue", err.Error())
+		default:
+			writeException(w, http.StatusInternalServerError, "NoApplicableCode", err.Error())
+		}
+		return
+	}
+	stamp, _ := s.network.ReadStamp(doc.Procedure)
+	writeXML(w, http.StatusOK, xmlInsertResponse{
+		AssignedID: fmt.Sprintf("%s@%d", doc.Procedure, stamp.Seq),
+	})
 }
 
 func (s *Service) getCapabilities(w http.ResponseWriter) {

@@ -2,6 +2,7 @@ package wps
 
 import (
 	"encoding/xml"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -33,7 +34,10 @@ func parseExecuteDocument(r io.Reader) (id string, inputs map[string]string, asy
 	var doc xmlExecuteRequest
 	dec := xml.NewDecoder(r)
 	if err := dec.Decode(&doc); err != nil {
-		return "", nil, false, fmt.Errorf("parsing execute document: %w", ErrBadRequest)
+		// Both wraps matter: ErrBadRequest classifies the failure, and the
+		// decode error itself must survive so servePost can tell an
+		// oversized body (http.MaxBytesError → 413) from malformed XML.
+		return "", nil, false, fmt.Errorf("parsing execute document: %w: %w", ErrBadRequest, err)
 	}
 	id = strings.TrimSpace(doc.Identifier)
 	if id == "" {
@@ -50,10 +54,22 @@ func parseExecuteDocument(r io.Reader) (id string, inputs map[string]string, asy
 	return id, inputs, doc.StoreExecuteResponse, nil
 }
 
-// servePost handles the XML POST binding.
+// maxExecuteBytes bounds a wps:Execute document. Process inputs are
+// short literals; a megabyte is far past any legitimate document.
+const maxExecuteBytes = 1 << 20
+
+// servePost handles the XML POST binding. The body is bounded before
+// decoding: an oversized document answers 413 instead of being read to
+// the end.
 func (s *Service) servePost(w http.ResponseWriter, r *http.Request) {
-	id, inputs, async, err := parseExecuteDocument(r.Body)
+	id, inputs, async, err := parseExecuteDocument(http.MaxBytesReader(w, r.Body, maxExecuteBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeException(w, http.StatusRequestEntityTooLarge, "InvalidRequest",
+				fmt.Sprintf("execute document exceeds %d bytes", tooBig.Limit))
+			return
+		}
 		writeException(w, http.StatusBadRequest, "InvalidParameterValue", err.Error())
 		return
 	}

@@ -1,0 +1,29 @@
+package portal
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// BenchmarkSeriesDegraded measures the series read path's overload
+// fallback: the coarse-rollup representation must stay cheap — it is
+// what the portal serves precisely when it can least afford work.
+func BenchmarkSeriesDegraded(b *testing.B) {
+	f := newFixture(b)
+	f.clk.Advance(21 * time.Hour) // a full day of history behind the 3h warm-up
+
+	req := httptest.NewRequest(http.MethodGet, "/sensors/morland-level-1/series", nil)
+	req = req.WithContext(context.WithValue(req.Context(), degradedKey{}, true))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		f.p.sensorSeries(rec, req, "morland-level-1")
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status = %d", rec.Code)
+		}
+	}
+}

@@ -144,9 +144,18 @@ func (p *Portal) handle(pattern string, h http.Handler) {
 			metrics.L("route", pattern)),
 	}
 	p.endpoints[pattern] = inst
+	pol := policyFor(pattern)
+	if ctrl := p.obs.Admission; ctrl != nil && pol.mode != modeExempt && pol.mode != modeRateOnly {
+		// This route's p95 feeds the adaptive concurrency limit.
+		// WebSocket routes are excluded: a connection's "latency" is its
+		// lifetime, which would poison the percentile.
+		ctrl.Watch(inst.latency)
+	}
 	p.mux.Handle(pattern, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		defer func() {
+			// Recorded latency includes any admission queue wait — the
+			// client paid for it, so the histogram reports it.
 			inst.latency.RecordSince(start)
 			status := 0
 			if sr, ok := w.(*statusRecorder); ok {
@@ -156,6 +165,13 @@ func (p *Portal) handle(pattern string, h http.Handler) {
 				inst.errors.Inc()
 			}
 		}()
+		r, release, ok := p.admit(w, r, pol)
+		if !ok {
+			return
+		}
+		if release != nil {
+			defer release()
+		}
 		h.ServeHTTP(w, r)
 	}))
 }

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"evop/internal/admission"
 	"evop/internal/broker"
 	"evop/internal/core"
 	"evop/internal/geo"
@@ -72,6 +73,16 @@ type Portal struct {
 	// Series read-path instruments (see series.go).
 	series seriesInstruments
 
+	// Admission-side instruments (see admission.go).
+	admitInst admissionInstruments
+
+	// liveMu guards the /ws/live connection count against the
+	// admission controller's cap; liveGauge mirrors it for /metrics.
+	liveMu        sync.Mutex
+	liveConns     int
+	liveGauge     *metrics.Gauge
+	liveEvictions *metrics.Counter
+
 	// liveWG counts in-flight /ws/live handlers. http.Server.Shutdown
 	// forgets hijacked connections, so ServeContext waits on this group
 	// to let each live socket flush its going-away close frame before
@@ -98,7 +109,12 @@ func New(obs *core.Observatory) (*Portal, error) {
 			"Requests currently being served."),
 		panics: reg.Counter("evop_http_panics_total",
 			"Handler panics caught by the recovery middleware."),
-		series: newSeriesInstruments(reg),
+		series:    newSeriesInstruments(reg),
+		admitInst: newAdmissionInstruments(reg),
+		liveGauge: reg.Gauge("evop_ws_live_connections",
+			"Open /ws/live WebSocket connections."),
+		liveEvictions: reg.Counter("evop_ws_live_evictions_total",
+			"Live WebSocket connections evicted as slow consumers."),
 	}
 	p.handle("/api/", rest.NewHandler(obs.Assets))
 	p.handle("/wps", obs.WPS)
@@ -456,27 +472,53 @@ func (p *Portal) stormWindow(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int{"stormAtHours": hours})
 }
 
+// maxRunBytes bounds a model-run request body: a RunRequest is a short
+// JSON document, not a data upload.
+const maxRunBytes = 1 << 20
+
 // modelRun executes the LEFT modelling widget's request: a JSON
 // core.RunRequest in, the hydrograph and summary out (hydrograph in Flot
 // encoding, ready for the chart). Identical requests are served from the
 // observatory's model-run cache — the X-Cache response header reports
-// miss, hit or coalesced.
+// miss, hit or coalesced. When the model-run class is saturated, the
+// last completed run of the same family is served instead, marked
+// X-Degraded: stale-cache; with no stale entry available the request is
+// shed with 503.
 func (p *Portal) modelRun(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST required"})
 		return
 	}
 	var req core.RunRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRunBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				map[string]string{"error": fmt.Sprintf("run request exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
 		return
 	}
-	res, outcome, err := p.obs.RunModelCachedContext(r.Context(), req)
-	if err != nil {
-		writeRunErr(w, err)
-		return
+	var res *core.RunResult
+	if degraded(r) {
+		stale, ok := p.obs.StaleRun(req)
+		if !ok {
+			p.writeShed(w, admission.Model, 0, admission.ErrSaturated)
+			return
+		}
+		p.markDegraded(w, "stale-cache")
+		w.Header().Set("X-Cache", "stale")
+		res = stale
+	} else {
+		fresh, outcome, err := p.obs.RunModelCachedContext(r.Context(), req)
+		if err != nil {
+			writeRunErr(w, err)
+			return
+		}
+		w.Header().Set("X-Cache", outcome.String())
+		res = fresh
 	}
-	w.Header().Set("X-Cache", outcome.String())
 	flot, err := res.Discharge.FlotJSON()
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
@@ -639,6 +681,14 @@ func (p *Portal) liveSocket(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
 		return
 	}
+	// Connection cap, enforced before the upgrade hijacks the socket: a
+	// full portal answers plain HTTP 503 + Retry-After, never a
+	// half-done handshake.
+	if !p.acquireLiveConn() {
+		p.writeShed(w, admission.Live, 0, errLiveConnLimit)
+		return
+	}
+	defer p.releaseLiveConn()
 	sub, err := p.obs.Network.SubscribeTopics(liveQueue, topics...)
 	if err != nil {
 		// Only a network already stopped refuses subscriptions.
@@ -661,7 +711,12 @@ func (p *Portal) liveSocket(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}()
-	// Writer: forward readings until the hub or the socket ends.
+	// Writer: forward readings until the hub or the socket ends. A
+	// consumer whose queue stays saturated is evicted with a going-away
+	// close: the hub's coalescing already protects memory, but a wedged
+	// browser still pins a capped connection slot somebody responsive
+	// could use.
+	var meter slowMeter
 	for {
 		select {
 		case reading, ok := <-sub.C():
@@ -676,11 +731,78 @@ func (p *Portal) liveSocket(w http.ResponseWriter, r *http.Request) {
 				<-done
 				return
 			}
+			if meter.observe(sub.Dropped()) {
+				p.liveEvictions.Inc()
+				sub.Cancel()
+				conn.Close(ws.CloseGoingAway, "slow consumer: live readings dropping")
+				<-done
+				return
+			}
 		case <-done:
 			sub.Cancel()
 			return
 		}
 	}
+}
+
+// slowWindow is how many delivered live messages pass between
+// slow-consumer checks; slowStrikes is how many consecutive saturated
+// windows trigger eviction.
+const (
+	slowWindow  = 64
+	slowStrikes = 3
+)
+
+// slowMeter detects a persistently slow live-socket consumer: every
+// slowWindow delivered messages it compares the subscription's
+// cumulative drop count against the previous check, and slowStrikes
+// consecutive windows that each dropped a full queue's worth mean the
+// consumer cannot keep up and should be evicted.
+type slowMeter struct {
+	writes      int
+	strikes     int
+	lastDropped uint64
+}
+
+// observe records one delivered message and the subscription's
+// cumulative drop count; it reports whether to evict the consumer.
+func (m *slowMeter) observe(dropped uint64) bool {
+	if m.writes++; m.writes%slowWindow != 0 {
+		return false
+	}
+	if dropped-m.lastDropped >= slowWindow {
+		m.strikes++
+	} else {
+		m.strikes = 0
+	}
+	m.lastDropped = dropped
+	return m.strikes >= slowStrikes
+}
+
+// errLiveConnLimit sheds a /ws/live upgrade at the connection cap.
+var errLiveConnLimit = errors.New("live connection limit reached")
+
+// acquireLiveConn claims a capped /ws/live connection slot.
+func (p *Portal) acquireLiveConn() bool {
+	limit := 0
+	if p.obs.Admission != nil {
+		limit = p.obs.Admission.LiveConnLimit()
+	}
+	p.liveMu.Lock()
+	defer p.liveMu.Unlock()
+	if limit > 0 && p.liveConns >= limit {
+		return false
+	}
+	p.liveConns++
+	p.liveGauge.Add(1)
+	return true
+}
+
+func (p *Portal) releaseLiveConn() {
+	p.liveMu.Lock()
+	p.liveConns--
+	p.liveGauge.Add(-1)
+	p.liveMu.Unlock()
 }
 
 func initialKind(s broker.Session) broker.UpdateKind {

@@ -26,11 +26,18 @@ type fixture struct {
 	srv *httptest.Server
 }
 
-func newFixture(t *testing.T) *fixture {
+func newFixture(t testing.TB) *fixture { return newFixtureWith(t, nil) }
+
+// newFixtureWith builds the standard fixture after letting the test
+// tune the observatory config (admission limits, cache sizes, ...).
+func newFixtureWith(t testing.TB, tune func(*core.Config)) *fixture {
 	t.Helper()
 	clk := clock.NewSimulated(epoch)
 	cfg := core.DefaultConfig(clk)
 	cfg.ForcingDays = 20
+	if tune != nil {
+		tune(&cfg)
+	}
 	obs, err := core.New(cfg)
 	if err != nil {
 		t.Fatalf("core.New: %v", err)

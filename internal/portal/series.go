@@ -93,6 +93,10 @@ func (c *seriesInstruments) metrics() SeriesMetrics {
 func (p *Portal) sensorSeries(w http.ResponseWriter, r *http.Request, id string) {
 	start := time.Now()
 	defer func() { p.series.querySeconds.RecordSince(start) }()
+	if degraded(r) {
+		p.degradedSeries(w, r, id)
+		return
+	}
 	q := r.URL.Query()
 	to := timeOrDefault(q.Get("to"), p.nowFallback())
 	from := timeOrDefault(q.Get("from"), to.Add(-24*time.Hour))
@@ -172,6 +176,41 @@ func (p *Portal) sensorSeries(w http.ResponseWriter, r *http.Request, id string)
 		view = out
 	}
 	streamFlotPairs(w, view)
+}
+
+// degradedSeries is the series read path's overload fallback: instead
+// of scanning (and possibly downsampling) raw readings, it answers the
+// requested window from the coarsest rollup tier that still yields a
+// plottable number of buckets — mean values only, no conditional
+// validators (a degraded body must not be cached as the real one), and
+// marked X-Degraded: coarse-rollup.
+func (p *Portal) degradedSeries(w http.ResponseWriter, r *http.Request, id string) {
+	q := r.URL.Query()
+	to := timeOrDefault(q.Get("to"), p.nowFallback())
+	from := timeOrDefault(q.Get("from"), to.Add(-24*time.Hour))
+	if !to.After(from) {
+		p.markDegraded(w, "coarse-rollup")
+		streamFlotPairs(w, nil)
+		return
+	}
+	span := to.Sub(from)
+	// Coarsest tier first; fall through to finer tiers only when the
+	// window is too short for the coarse one to produce ≥2 buckets.
+	step := 15 * time.Minute
+	for _, tier := range []time.Duration{120 * time.Hour, 6 * time.Hour} {
+		if span >= 2*tier {
+			step = tier
+			break
+		}
+	}
+	buckets := int((span + step - 1) / step)
+	aggs, err := p.obs.Network.AggregateSeries(id, from, step, buckets)
+	if err != nil {
+		writeSensorErr(w, err)
+		return
+	}
+	p.markDegraded(w, "coarse-rollup")
+	streamFlotPairs(w, aggPairs(aggs, from, step, "mean"))
 }
 
 func parsePoints(raw string) (int, error) {

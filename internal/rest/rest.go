@@ -171,6 +171,10 @@ func StatusFor(err error) int {
 	}
 }
 
+// maxResourceBytes bounds a PUT resource body: asset metadata is small;
+// bulk payloads belong on the dataset upload endpoint.
+const maxResourceBytes = 1 << 20
+
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := strings.TrimPrefix(r.URL.Path, "/api/")
@@ -196,7 +200,13 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		WriteJSON(w, http.StatusOK, res)
 	case r.Method == http.MethodPut && id != "":
 		var res Resource
-		if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxResourceBytes)).Decode(&res); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				WriteError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("resource body exceeds %d bytes", tooBig.Limit))
+				return
+			}
 			WriteError(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
 			return
 		}

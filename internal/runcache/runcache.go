@@ -74,6 +74,8 @@ type Stats struct {
 	Canceled int64 `json:"canceled"`
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions int64 `json:"evictions"`
+	// StaleHits counts degraded lookups answered from the family index.
+	StaleHits int64 `json:"staleHits"`
 	// Size is the current number of cached entries.
 	Size int `json:"size"`
 }
@@ -90,12 +92,27 @@ type Cache[V any] struct {
 	inflight map[string]*flight[V]
 	gen      uint64 // bumped by Purge to drop stale in-flight results
 
-	hits, misses, coalesced, canceled, evictions *metrics.Counter
+	// The family index is the degradation fallback: the last completed
+	// value per family key (a request identity minus its volatile
+	// parameters), kept in its own LRU so a saturated serving path can
+	// answer stale-but-marked instead of shedding. Purge clears it —
+	// a result invalidated for the primary cache is invalidated as a
+	// fallback too.
+	fams     *list.List
+	byFamily map[string]*list.Element
+
+	hits, misses, coalesced, canceled, evictions, staleHits *metrics.Counter
 }
 
 type entry[V any] struct {
 	key string
 	val V
+}
+
+// famEntry is one family's freshest completed value.
+type famEntry[V any] struct {
+	family string
+	val    V
 }
 
 // flight is one in-progress computation. Its lifecycle is reference-
@@ -128,6 +145,8 @@ func NewWithMetrics[V any](capacity int, reg *metrics.Registry) *Cache[V] {
 		ll:       list.New(),
 		byKey:    make(map[string]*list.Element),
 		inflight: make(map[string]*flight[V]),
+		fams:     list.New(),
+		byFamily: make(map[string]*list.Element),
 		hits: reg.Counter("evop_runcache_hits_total",
 			"Run-cache lookups served from a cached result."),
 		misses: reg.Counter("evop_runcache_misses_total",
@@ -138,6 +157,8 @@ func NewWithMetrics[V any](capacity int, reg *metrics.Registry) *Cache[V] {
 			"Run-cache waits abandoned by caller context cancellation."),
 		evictions: reg.Counter("evop_runcache_evictions_total",
 			"Run-cache entries evicted at capacity."),
+		staleHits: reg.Counter("evop_runcache_stale_hits_total",
+			"Degraded lookups served from the stale family index."),
 	}
 }
 
@@ -231,6 +252,52 @@ func (c *Cache[V]) wait(ctx context.Context, key string, fl *flight[V], outcome 
 	}
 }
 
+// DoFamily is Do, additionally recording the completed value as its
+// family's freshest result. The family key groups request variants
+// whose results are acceptable substitutes for one another under
+// degradation (e.g. same catchment+model+scenario, any storm window) —
+// see Stale.
+func (c *Cache[V]) DoFamily(ctx context.Context, key, family string, compute func(ctx context.Context) (V, error)) (V, Outcome, error) {
+	val, outcome, err := c.Do(ctx, key, compute)
+	if err == nil && outcome != Canceled {
+		c.mu.Lock()
+		c.storeFamily(family, val)
+		c.mu.Unlock()
+	}
+	return val, outcome, err
+}
+
+// Stale returns the family's last completed value, if any — the
+// stale-but-marked answer a saturated serving path prefers over a 503.
+// A hit refreshes the family's recency and counts toward StaleHits.
+func (c *Cache[V]) Stale(family string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byFamily[family]; ok {
+		c.fams.MoveToFront(el)
+		c.staleHits.Inc()
+		return el.Value.(*famEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// storeFamily upserts the family's freshest value under c.mu, bounding
+// the index by the cache capacity.
+func (c *Cache[V]) storeFamily(family string, val V) {
+	if el, ok := c.byFamily[family]; ok {
+		el.Value.(*famEntry[V]).val = val
+		c.fams.MoveToFront(el)
+		return
+	}
+	c.byFamily[family] = c.fams.PushFront(&famEntry[V]{family: family, val: val})
+	for c.fams.Len() > c.capacity {
+		oldest := c.fams.Back()
+		c.fams.Remove(oldest)
+		delete(c.byFamily, oldest.Value.(*famEntry[V]).family)
+	}
+}
+
 // Get returns the cached value without computing, refreshing its
 // recency on a hit. It does not touch the hit/miss counters.
 func (c *Cache[V]) Get(key string) (V, bool) {
@@ -269,6 +336,8 @@ func (c *Cache[V]) Purge() {
 	defer c.mu.Unlock()
 	c.ll.Init()
 	clear(c.byKey)
+	c.fams.Init()
+	clear(c.byFamily)
 	c.gen++
 }
 
@@ -289,6 +358,7 @@ func (c *Cache[V]) Stats() Stats {
 		Coalesced: int64(c.coalesced.Value()),
 		Canceled:  int64(c.canceled.Value()),
 		Evictions: int64(c.evictions.Value()),
+		StaleHits: int64(c.staleHits.Value()),
 		Size:      c.ll.Len(),
 	}
 }

@@ -19,6 +19,7 @@ package sensor
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -237,6 +238,7 @@ type Network struct {
 	seriesQueries   *metrics.Counter
 	aggQueries      *metrics.Counter
 	rollupFallbacks *metrics.Counter
+	externalIngests *metrics.Counter
 }
 
 // NewNetwork returns an empty network on the given clock with private,
@@ -266,6 +268,8 @@ func NewNetworkWithMetrics(clk clock.Clock, reg *metrics.Registry) (*Network, er
 			"Rollup-index aggregate queries."),
 		rollupFallbacks: reg.Counter("evop_sensor_rollup_fallbacks_total",
 			"Aggregate queries served by a raw scan (unindexed history)."),
+		externalIngests: reg.Counter("evop_sensor_external_ingest_total",
+			"Observations pushed in from outside (SOS InsertObservation)."),
 	}, nil
 }
 
@@ -407,6 +411,46 @@ func (n *Network) sample(id string) {
 	// but keeping it off the mutexes means a storm of slow subscribers
 	// can never delay the next sensor sample.
 	hub.Publish(r, push.TopicSensor(r.SensorID), push.TopicCatchment(s.CatchmentID), push.TopicAllSensors)
+}
+
+// Ingest records an externally supplied observation for a non-webcam
+// sensor — the write path behind the SOS InsertObservation binding, so
+// community-deployed gauges can push readings into the observatory
+// rather than only being sampled by it. The observation lands in the
+// sensor's shard exactly like a sampled reading (history, rollups, seq
+// stamp, newest cache) and fans out to live subscribers.
+func (n *Network) Ingest(id string, at time.Time, value float64) error {
+	s, sh, err := n.shardOf(id)
+	if err != nil {
+		return err
+	}
+	if s.Kind == Webcam {
+		return fmt.Errorf("%s is a webcam, not an observation sensor: %w", id, ErrBadSensor)
+	}
+	if at.IsZero() {
+		return fmt.Errorf("%s: observation without a sampling time: %w", id, ErrBadSensor)
+	}
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("%s: non-finite observation value: %w", id, ErrBadSensor)
+	}
+	r := Reading{SensorID: id, Kind: s.Kind, Time: at, Value: value}
+	sh.mu.Lock()
+	sh.history.Add(timeseries.Observation{Time: at, Value: value})
+	sh.seq++
+	if at.After(sh.last) {
+		sh.last = at
+	}
+	sh.mu.Unlock()
+
+	n.externalIngests.Add(1)
+	n.mu.Lock()
+	if !n.hasNewest || !r.Time.Before(n.newest.Time) {
+		n.newest, n.hasNewest = r, true
+	}
+	hub := n.hub
+	n.mu.Unlock()
+	hub.Publish(r, push.TopicSensor(id), push.TopicCatchment(s.CatchmentID), push.TopicAllSensors)
+	return nil
 }
 
 // synthFrame builds a deterministic opaque frame payload.

@@ -245,6 +245,10 @@ func (s *Service) Runs() []*Run {
 	return out
 }
 
+// maxDefinitionBytes bounds a POSTed workflow definition: node graphs
+// are hand-authored JSON, far below a megabyte.
+const maxDefinitionBytes = 1 << 20
+
 // ServeHTTP implements the HTTP binding.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := strings.TrimPrefix(r.URL.Path, "/workflows")
@@ -257,7 +261,13 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case path == "" && r.Method == http.MethodPost:
 		var def Definition
-		if err := json.NewDecoder(r.Body).Decode(&def); err != nil {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxDefinitionBytes)).Decode(&def); err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeJSON(http.StatusRequestEntityTooLarge,
+					map[string]string{"error": fmt.Sprintf("definition exceeds %d bytes", tooBig.Limit)})
+				return
+			}
 			writeJSON(http.StatusBadRequest, map[string]string{"error": "invalid JSON: " + err.Error()})
 			return
 		}
