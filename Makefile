@@ -21,13 +21,14 @@ check:
 	$(MAKE) fuzz-smoke
 
 # chaos is the fault-injection tier: the seeded chaos scenario, the faulty-
-# provider regression tests and the breaker/backoff unit tests, run twice
-# under the race detector in a shuffled order so recovery is provably
-# deterministic and free of ordering dependencies.
+# provider regression tests, the breaker/backoff unit tests and the compute
+# pool's shutdown/leak checks, run twice under the race detector in a
+# shuffled order so recovery is provably deterministic and free of
+# ordering dependencies.
 chaos:
-	$(GO) test -race -shuffle=on -count=2 -run 'Chaos|Fault|Breaker|Backoff|Suspend' \
+	$(GO) test -race -shuffle=on -count=2 -run 'Chaos|Fault|Breaker|Backoff|Suspend|PoolClose' \
 		./internal/loadbalancer ./internal/cloud/... ./internal/broker ./internal/resilience \
-		./internal/admission
+		./internal/admission ./internal/sched
 
 # lint-metrics forbids raw atomic counters outside internal/metrics —
 # operational counters belong in the unified registry so they surface in

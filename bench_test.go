@@ -29,6 +29,7 @@ import (
 	"evop/internal/loadbalancer"
 	"evop/internal/resilience"
 	"evop/internal/runcache"
+	"evop/internal/sched"
 	"evop/internal/timeseries"
 	"evop/internal/weather"
 )
@@ -168,6 +169,64 @@ func BenchmarkFUSEYear(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := m.Run(f); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFUSEEnsembleSeq measures the full 24-structure FUSE ensemble
+// on a 90-day record run sequentially inline — the pre-scheduler
+// baseline shape.
+func BenchmarkFUSEEnsembleSeq(b *testing.B) {
+	f := benchForcing(b, 90)
+	decs := fuse.AllDecisions()
+	params := fuse.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fuse.RunEnsembleOn(context.Background(), nil, decs, params, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFUSEEnsembleParallel is the same ensemble fanned out across
+// the shared compute pool (GOMAXPROCS workers, per-worker scratch). The
+// result is bit-identical to the sequential run; on a multi-core host
+// the wall-clock divides by the worker count.
+func BenchmarkFUSEEnsembleParallel(b *testing.B) {
+	f := benchForcing(b, 90)
+	decs := fuse.AllDecisions()
+	params := fuse.DefaultParams()
+	pool, err := sched.New(sched.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer pool.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fuse.RunEnsembleOn(context.Background(), pool, decs, params, f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNationalSweep measures the multi-catchment quality
+// aggregation (every catchment x every scenario) on the observatory's
+// shared pool. The first iteration pays the simulations; the steady
+// state measures the sweep machinery over run-cache hits, as the portal
+// sees for repeat policy queries.
+func BenchmarkNationalSweep(b *testing.B) {
+	o := benchObservatory(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		totals, err := o.RunNationalQuality(nil, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(totals) == 0 {
+			b.Fatal("empty sweep")
 		}
 	}
 }

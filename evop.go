@@ -86,6 +86,10 @@ type TOPMODELParams = topmodel.Params
 // DesignStorm is a synthetic storm event injectable into any run.
 type DesignStorm = weather.DesignStorm
 
+// NationalLoads is one scenario's pollutant export aggregated across
+// catchments; see Observatory.RunNationalQuality.
+type NationalLoads = core.NationalLoads
+
 // Scenario is one land-use/management preset of the LEFT widget.
 type Scenario = scenario.Scenario
 

@@ -37,22 +37,11 @@ func run() error {
 	catchments := []string{"morland", "tarland", "machynlleth"}
 	fmt.Printf("diffuse pollution, 90-day record, %d catchments\n\n", len(catchments))
 
-	type total struct {
-		sediment, phosphorus, nitrate float64
-	}
-	totals := map[string]total{}
-	for _, sc := range scenario.All() {
-		var agg total
-		for _, cid := range catchments {
-			res, err := obs.RunQuality(cid, sc.ID)
-			if err != nil {
-				return fmt.Errorf("quality for %s under %s: %w", cid, sc.ID, err)
-			}
-			agg.sediment += res.Loads.SedimentTonnes
-			agg.phosphorus += res.Loads.PhosphorusKg
-			agg.nitrate += res.Loads.NitrateKg
-		}
-		totals[sc.ID] = agg
+	// Every (catchment, scenario) run fans out across the observatory's
+	// shared compute pool; totals are identical to the sequential loop.
+	totals, err := obs.RunNationalQuality(catchments, nil)
+	if err != nil {
+		return fmt.Errorf("national quality sweep: %w", err)
 	}
 
 	base := totals[scenario.Baseline]
@@ -62,17 +51,17 @@ func run() error {
 		agg := totals[sc.ID]
 		rel := ""
 		if sc.ID != scenario.Baseline {
-			rel = fmt.Sprintf("%+.0f%% P", (agg.phosphorus/base.phosphorus-1)*100)
+			rel = fmt.Sprintf("%+.0f%% P", (agg.Total.PhosphorusKg/base.Total.PhosphorusKg-1)*100)
 		}
-		fmt.Printf("%-28s %12.1f %14.1f %12s\n", sc.Name, agg.sediment, agg.phosphorus, rel)
+		fmt.Printf("%-28s %12.1f %14.1f %12s\n", sc.Name, agg.Total.SedimentTonnes, agg.Total.PhosphorusKg, rel)
 	}
 	fmt.Println()
 
 	// The policy answer.
-	bestID, bestP := scenario.Baseline, base.phosphorus
+	bestID, bestP := scenario.Baseline, base.Total.PhosphorusKg
 	for id, agg := range totals {
-		if agg.phosphorus < bestP {
-			bestID, bestP = id, agg.phosphorus
+		if agg.Total.PhosphorusKg < bestP {
+			bestID, bestP = id, agg.Total.PhosphorusKg
 		}
 	}
 	best, err := scenario.Get(bestID)
@@ -80,7 +69,7 @@ func run() error {
 		return err
 	}
 	fmt.Printf("largest phosphorus reduction: %q (%.0f kg vs %.0f kg baseline, %.0f%% lower)\n",
-		best.Name, bestP, base.phosphorus, (1-bestP/base.phosphorus)*100)
+		best.Name, bestP, base.Total.PhosphorusKg, (1-bestP/base.Total.PhosphorusKg)*100)
 	fmt.Println("\n" + best.Description)
 	return nil
 }

@@ -39,6 +39,7 @@ import (
 	"evop/internal/rest"
 	"evop/internal/runcache"
 	"evop/internal/scenario"
+	"evop/internal/sched"
 	"evop/internal/sensor"
 	"evop/internal/timeseries"
 	"evop/internal/weather"
@@ -153,6 +154,10 @@ type Observatory struct {
 	// Admission is the front-door overload gate the portal consults
 	// before running any handler.
 	Admission *admission.Controller
+	// Sched is the shared compute pool every CPU-bound fan-out runs on:
+	// FUSE ensembles, calibration sweeps, national aggregations and
+	// asynchronous WPS executions.
+	Sched *sched.Pool
 
 	mu       sync.Mutex
 	forcings map[string]hydro.Forcing
@@ -211,6 +216,19 @@ func New(cfg Config) (*Observatory, error) {
 	if err != nil {
 		return nil, fmt.Errorf("building admission gate: %w", err)
 	}
+
+	// Shared compute pool. Created early so later failures can release
+	// its workers through the deferred close.
+	o.Sched, err = sched.New(sched.Config{Metrics: reg})
+	if err != nil {
+		return nil, fmt.Errorf("building compute pool: %w", err)
+	}
+	assembled := false
+	defer func() {
+		if !assembled {
+			o.Sched.Close()
+		}
+	}()
 
 	o.Private, err = cloud.NewProvider(cloud.Config{
 		Name: "openstack-lancaster", Kind: cloud.Private,
@@ -310,8 +328,9 @@ func New(cfg Config) (*Observatory, error) {
 		return nil, fmt.Errorf("building load balancer: %w", err)
 	}
 
-	// WPS: model execution processes.
-	o.WPS = wps.NewServiceWithMetrics("EVOp WPS", reg)
+	// WPS: model execution processes. Async executions run as bulk-class
+	// tasks on the shared pool, bounded rather than goroutine-per-request.
+	o.WPS = wps.NewServiceWithOptions("EVOp WPS", wps.Options{Metrics: reg, Pool: o.Sched})
 	if err := o.WPS.Register(&modelProcess{obs: o, model: "topmodel"}); err != nil {
 		return nil, fmt.Errorf("registering topmodel process: %w", err)
 	}
@@ -334,6 +353,7 @@ func New(cfg Config) (*Observatory, error) {
 
 	o.populateAssets()
 	o.registerGauges()
+	assembled = true
 	return o, nil
 }
 
@@ -421,11 +441,13 @@ func (o *Observatory) Start() {
 	o.LB.Start()
 }
 
-// Stop halts the background loops and waits for async WPS executions.
+// Stop halts the background loops, waits for async WPS executions and
+// releases the compute pool's workers. Stopping twice is safe.
 func (o *Observatory) Stop() {
 	o.LB.Stop()
 	o.Network.Stop()
 	o.WPS.Wait()
+	o.Sched.Close()
 }
 
 // Shutdown gracefully stops the observatory: it waits, bounded by ctx,
@@ -768,7 +790,7 @@ func (o *Observatory) runModel(ctx context.Context, req RunRequest) (*RunResult,
 			{Upper: fuse.UpperTensionFree, Perc: fuse.PercWaterContent, Base: fuse.BasePower, Routing: fuse.RouteGammaUH},
 			{Upper: fuse.UpperTensionFree, Perc: fuse.PercFieldCap, Base: fuse.BaseParallel, Routing: fuse.RouteGammaUH},
 		}
-		ens, err := fuse.RunEnsembleContext(ctx, decs, params, forcing)
+		ens, err := fuse.RunEnsembleOn(ctx, o.Sched, decs, params, forcing)
 		if err != nil {
 			return nil, err
 		}
@@ -889,6 +911,79 @@ func (o *Observatory) RunQualityContext(ctx context.Context, catchmentID, scenar
 		PhosphorusChange: change(scnLoads.PhosphorusKg, baseLoads.PhosphorusKg),
 		NitrateChange:    change(scnLoads.NitrateKg, baseLoads.NitrateKg),
 	}, nil
+}
+
+// NationalLoads is one scenario's aggregated pollutant export across a
+// set of catchments — the paper's second motivating question ("what
+// could be done to reduce diffuse pollution affecting the North Sea?")
+// needs every policy's total load, not one catchment's.
+type NationalLoads struct {
+	// Scenario is the policy applied in every catchment.
+	Scenario string `json:"scenario"`
+	// Total sums the catchment exports.
+	Total quality.Loads `json:"total"`
+	// PerCatchment holds each catchment's own exports.
+	PerCatchment map[string]quality.Loads `json:"perCatchment"`
+}
+
+// RunNationalQuality is RunNationalQualityContext with a background
+// context.
+func (o *Observatory) RunNationalQuality(catchmentIDs, scenarioIDs []string) (map[string]*NationalLoads, error) {
+	return o.RunNationalQualityContext(context.Background(), catchmentIDs, scenarioIDs)
+}
+
+// RunNationalQualityContext fans every (catchment, scenario) quality
+// run out across the shared compute pool as bulk-class work and
+// aggregates the exports per scenario. A nil catchmentIDs means every
+// registered catchment, a nil scenarioIDs every scenario. The result is
+// identical to the sequential nested loop for any pool size: runs are
+// collected by index and summed in catchment order within each
+// scenario; only the wall-clock differs.
+func (o *Observatory) RunNationalQualityContext(ctx context.Context, catchmentIDs, scenarioIDs []string) (map[string]*NationalLoads, error) {
+	if catchmentIDs == nil {
+		for _, c := range o.Catchments.All() {
+			catchmentIDs = append(catchmentIDs, c.ID)
+		}
+	}
+	if scenarioIDs == nil {
+		for _, sc := range scenario.All() {
+			scenarioIDs = append(scenarioIDs, sc.ID)
+		}
+	}
+	if len(catchmentIDs) == 0 || len(scenarioIDs) == 0 {
+		return nil, fmt.Errorf("empty national sweep: %w", ErrBadConfig)
+	}
+	type pair struct{ cid, sid string }
+	pairs := make([]pair, 0, len(catchmentIDs)*len(scenarioIDs))
+	for _, sid := range scenarioIDs {
+		for _, cid := range catchmentIDs {
+			pairs = append(pairs, pair{cid, sid})
+		}
+	}
+	results, err := sched.Map(ctx, o.Sched, sched.ClassBulk, len(pairs), func(i int) (*QualityResult, error) {
+		res, err := o.RunQualityContext(ctx, pairs[i].cid, pairs[i].sid)
+		if err != nil {
+			return nil, fmt.Errorf("quality for %s under %s: %w", pairs[i].cid, pairs[i].sid, err)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*NationalLoads, len(scenarioIDs))
+	for i, p := range pairs {
+		nl := out[p.sid]
+		if nl == nil {
+			nl = &NationalLoads{Scenario: p.sid, PerCatchment: make(map[string]quality.Loads, len(catchmentIDs))}
+			out[p.sid] = nl
+		}
+		loads := results[i].Loads
+		nl.PerCatchment[p.cid] = loads
+		nl.Total.SedimentTonnes += loads.SedimentTonnes
+		nl.Total.PhosphorusKg += loads.PhosphorusKg
+		nl.Total.NitrateKg += loads.NitrateKg
+	}
+	return out, nil
 }
 
 // modelProcess adapts RunModel to the WPS Process interface.

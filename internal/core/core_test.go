@@ -318,6 +318,59 @@ func TestRunQualityErrors(t *testing.T) {
 	}
 }
 
+// TestRunNationalQualityMatchesSequential pins the national sweep's
+// determinism: the pooled fan-out totals are bit-identical to the
+// sequential nested loop over the same catchments and scenarios.
+func TestRunNationalQualityMatchesSequential(t *testing.T) {
+	o, _ := newObs(t)
+	catchments := []string{"morland", "tarland"}
+	scenarios := []string{"baseline", "compaction"}
+	got, err := o.RunNationalQuality(catchments, scenarios)
+	if err != nil {
+		t.Fatalf("RunNationalQuality: %v", err)
+	}
+	for _, sid := range scenarios {
+		nl := got[sid]
+		if nl == nil {
+			t.Fatalf("scenario %s missing from result", sid)
+		}
+		var sed, phos, nit float64
+		for _, cid := range catchments {
+			res, err := o.RunQuality(cid, sid)
+			if err != nil {
+				t.Fatalf("sequential RunQuality(%s,%s): %v", cid, sid, err)
+			}
+			pc := nl.PerCatchment[cid]
+			if pc.SedimentTonnes != res.Loads.SedimentTonnes ||
+				pc.PhosphorusKg != res.Loads.PhosphorusKg ||
+				pc.NitrateKg != res.Loads.NitrateKg {
+				t.Fatalf("%s/%s: per-catchment loads differ: %+v vs %+v",
+					sid, cid, pc, res.Loads)
+			}
+			sed += res.Loads.SedimentTonnes
+			phos += res.Loads.PhosphorusKg
+			nit += res.Loads.NitrateKg
+		}
+		if nl.Total.SedimentTonnes != sed || nl.Total.PhosphorusKg != phos || nl.Total.NitrateKg != nit {
+			t.Fatalf("%s: totals differ from sequential sum: %+v vs (%v,%v,%v)",
+				sid, nl.Total, sed, phos, nit)
+		}
+	}
+	// Defaults: every catchment × every scenario.
+	all, err := o.RunNationalQuality(nil, nil)
+	if err != nil {
+		t.Fatalf("RunNationalQuality(nil,nil): %v", err)
+	}
+	if len(all) != len(scenario.All()) {
+		t.Fatalf("default sweep covered %d scenarios, want %d", len(all), len(scenario.All()))
+	}
+	for sid, nl := range all {
+		if len(nl.PerCatchment) != len(o.Catchments.All()) {
+			t.Fatalf("%s covered %d catchments, want %d", sid, len(nl.PerCatchment), len(o.Catchments.All()))
+		}
+	}
+}
+
 func TestDriestStormWindow(t *testing.T) {
 	o, _ := newObs(t)
 	hours, err := o.DriestStormWindow("morland", 5)

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"evop/internal/hydro/fuse"
+	"evop/internal/sched"
 	"evop/internal/timeseries"
 )
 
@@ -23,7 +25,14 @@ func E16FUSEEnsemble() (*Table, error) {
 		return nil, err
 	}
 	decs := fuse.AllDecisions()
-	ens, err := fuse.RunEnsemble(decs, fuse.DefaultParams(), forcing)
+	// All 24 structures fan out across a transient compute pool; the
+	// ensemble result is bit-identical to the sequential run.
+	pool, err := sched.New(sched.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("building pool: %w", err)
+	}
+	defer pool.Close()
+	ens, err := fuse.RunEnsembleOn(context.Background(), pool, decs, fuse.DefaultParams(), forcing)
 	if err != nil {
 		return nil, fmt.Errorf("running ensemble: %w", err)
 	}

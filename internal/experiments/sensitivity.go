@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"evop/internal/hydro/topmodel"
+	"evop/internal/sched"
 )
 
 // E17Sensitivity reproduces what the widget's parameter sliders exist
@@ -36,11 +38,6 @@ func E17Sensitivity() (*Table, error) {
 		}
 		return win.Summarise().Max, nil
 	}
-	base, err := peakFor(topmodel.DefaultParams())
-	if err != nil {
-		return nil, fmt.Errorf("baseline run: %w", err)
-	}
-
 	t := &Table{
 		ID:    "E17",
 		Title: "One-at-a-time parameter sensitivity of the storm peak (the widget's sliders)",
@@ -61,20 +58,34 @@ func E17Sensitivity() (*Table, error) {
 		{"SRMax", func(p *topmodel.Params, k float64) { p.SRMax *= k }},
 		{"TD", func(p *topmodel.Params, k float64) { p.TD *= k }},
 	}
-	maxSwing := 0.0
+
+	// The nine runs (baseline, then ±25% per parameter) are independent;
+	// fan them out across a transient compute pool and read the peaks
+	// back by index.
+	cases := make([]topmodel.Params, 0, 1+2*len(params))
+	cases = append(cases, topmodel.DefaultParams())
 	for _, prm := range params {
 		lo := topmodel.DefaultParams()
 		prm.apply(&lo, 0.75)
 		hi := topmodel.DefaultParams()
 		prm.apply(&hi, 1.25)
-		loPeak, err := peakFor(lo)
-		if err != nil {
-			return nil, fmt.Errorf("%s -25%%: %w", prm.name, err)
-		}
-		hiPeak, err := peakFor(hi)
-		if err != nil {
-			return nil, fmt.Errorf("%s +25%%: %w", prm.name, err)
-		}
+		cases = append(cases, lo, hi)
+	}
+	pool, err := sched.New(sched.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("building pool: %w", err)
+	}
+	defer pool.Close()
+	peaks, err := sched.Map(context.Background(), pool, sched.ClassBulk, len(cases),
+		func(i int) (float64, error) { return peakFor(cases[i]) })
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity sweep: %w", err)
+	}
+	base := peaks[0]
+
+	maxSwing := 0.0
+	for pi, prm := range params {
+		loPeak, hiPeak := peaks[1+2*pi], peaks[2+2*pi]
 		swing := (loPeak - hiPeak) / base
 		if swing < 0 {
 			swing = -swing

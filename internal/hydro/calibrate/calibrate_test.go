@@ -11,6 +11,7 @@ import (
 	"evop/internal/catchment"
 	"evop/internal/hydro"
 	"evop/internal/hydro/topmodel"
+	"evop/internal/sched"
 	"evop/internal/timeseries"
 	"evop/internal/weather"
 )
@@ -264,6 +265,41 @@ func TestMonteCarloDeterministicAcrossChunkSizes(t *testing.T) {
 			if ref.Runs[i].Score != got.Runs[i].Score {
 				t.Fatalf("chunk=%d changed result at run %d: %v vs %v",
 					chunk, i, ref.Runs[i].Score, got.Runs[i].Score)
+			}
+		}
+	}
+}
+
+// TestMonteCarloSharedPoolMatchesTransient pins the migration contract:
+// a sweep on an externally shared compute pool produces bit-identical
+// scores and samples to the transient-pool path, for any pool size.
+func TestMonteCarloSharedPoolMatchesTransient(t *testing.T) {
+	fx := newFixture(t)
+	ref, err := MonteCarlo(context.Background(), fx.config(40))
+	if err != nil {
+		t.Fatalf("MonteCarlo(transient): %v", err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		p, err := sched.New(sched.Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("sched.New(%d): %v", workers, err)
+		}
+		cfg := fx.config(40)
+		cfg.Pool = p
+		got, err := MonteCarlo(context.Background(), cfg)
+		p.Close()
+		if err != nil {
+			t.Fatalf("MonteCarlo(shared %d): %v", workers, err)
+		}
+		for i := range ref.Runs {
+			if ref.Runs[i].Score != got.Runs[i].Score {
+				t.Fatalf("workers=%d: score differs at run %d: %v vs %v",
+					workers, i, ref.Runs[i].Score, got.Runs[i].Score)
+			}
+			for j, v := range ref.Runs[i].Values {
+				if got.Runs[i].Values[j] != v {
+					t.Fatalf("workers=%d: sample differs at run %d", workers, i)
+				}
 			}
 		}
 	}

@@ -8,9 +8,9 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
-	"sync"
 
 	"evop/internal/hydro"
+	"evop/internal/sched"
 	"evop/internal/timeseries"
 )
 
@@ -78,10 +78,14 @@ type MCConfig struct {
 	N int
 	// Seed makes sampling deterministic.
 	Seed int64
-	// Workers caps parallelism; 0 means GOMAXPROCS.
+	// Pool is the shared compute pool the sweep runs on. Nil builds a
+	// transient pool of Workers workers for this call.
+	Pool *sched.Pool
+	// Workers sizes the transient pool when Pool is nil; 0 means
+	// GOMAXPROCS. Ignored when Pool is set.
 	Workers int
 	// ChunkSize is the number of samples dispatched to a worker per
-	// channel send; 0 picks a size that amortises channel traffic over
+	// pool send; 0 picks a size that amortises scheduler traffic over
 	// the sweep. Results are independent of the chunking.
 	ChunkSize int
 	// KeepSimsAbove retains the simulated series of runs scoring above
@@ -133,15 +137,15 @@ type MCResult struct {
 }
 
 // MonteCarlo samples the parameter space, runs the model for each sample
-// across a worker pool, scores each run, and returns all scores sorted
-// best-first. It is deterministic for a given seed regardless of worker
-// count and chunk size (samples are pre-drawn sequentially and results
-// written by index). Workers pull chunked index ranges rather than one
-// channel send per sample, and models implementing hydro.ScratchModel
-// run through per-worker scratch buffers, so a large sweep allocates
-// nothing per sample beyond the model build itself (which ReuseFactory
-// can eliminate too). It returns ErrAllRunsFailed if every sample
-// errored.
+// across the shared compute pool, scores each run, and returns all
+// scores sorted best-first. It is deterministic for a given seed
+// regardless of pool size and chunk size (samples are pre-drawn
+// sequentially and results written by index). The pool dispatches
+// chunked index ranges with per-worker reusable state, and models
+// implementing hydro.ScratchModel run through per-worker scratch
+// buffers, so a large sweep allocates nothing per sample beyond the
+// model build itself (which ReuseFactory can eliminate too). It returns
+// ErrAllRunsFailed if every sample errored.
 func MonteCarlo(ctx context.Context, cfg MCConfig) (*MCResult, error) {
 	if cfg.Objective == nil {
 		cfg.Objective = NSE
@@ -149,21 +153,21 @@ func MonteCarlo(ctx context.Context, cfg MCConfig) (*MCResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.N {
-		workers = cfg.N
-	}
-	chunk := cfg.ChunkSize
-	if chunk <= 0 {
-		// Roughly eight chunks per worker keeps the pool balanced while
-		// cutting channel operations by orders of magnitude on big sweeps.
-		chunk = cfg.N / (workers * 8)
-		if chunk < 1 {
-			chunk = 1
+	pool := cfg.Pool
+	if pool == nil {
+		workers := cfg.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
 		}
+		if workers > cfg.N {
+			workers = cfg.N
+		}
+		p, err := sched.New(sched.Config{Workers: workers})
+		if err != nil {
+			return nil, fmt.Errorf("building pool: %w", err)
+		}
+		defer p.Close()
+		pool = p
 	}
 
 	// Pre-draw all samples so results don't depend on scheduling.
@@ -178,38 +182,16 @@ func MonteCarlo(ctx context.Context, cfg MCConfig) (*MCResult, error) {
 	}
 
 	runs := make([]RunScore, cfg.N)
-	jobs := make(chan [2]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			st := &workerState{scratches: make(map[string]hydro.Scratch)}
-			for r := range jobs {
-				for i := r[0]; i < r[1]; i++ {
-					runs[i] = cfg.evaluate(samples[i], st)
-				}
-			}
-		}()
-	}
-	var ctxErr error
-feed:
-	for lo := 0; lo < cfg.N; lo += chunk {
-		hi := lo + chunk
-		if hi > cfg.N {
-			hi = cfg.N
-		}
-		select {
-		case jobs <- [2]int{lo, hi}:
-		case <-ctx.Done():
-			ctxErr = ctx.Err()
-			break feed
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if ctxErr != nil {
-		return nil, fmt.Errorf("calibration cancelled: %w", ctxErr)
+	runner := sched.NewRunner(pool, sched.ClassBulk, func() *workerState {
+		return &workerState{scratches: make(map[string]hydro.Scratch)}
+	})
+	runner.SetChunk(cfg.ChunkSize)
+	err := runner.ForEach(ctx, cfg.N, func(st *workerState, i int) error {
+		runs[i] = cfg.evaluate(samples[i], st)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("calibration cancelled: %w", err)
 	}
 
 	failed := 0

@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"evop/internal/hydro"
+	"evop/internal/sched"
 	"evop/internal/timeseries"
 )
 
@@ -443,38 +444,78 @@ func RunEnsemble(decs []Decisions, params Params, f hydro.Forcing) (*EnsembleRes
 	return RunEnsembleContext(context.Background(), decs, params, f)
 }
 
-// RunEnsembleContext is RunEnsemble with a cancellation check between
+// RunEnsembleContext is RunEnsemble with cancellation checks between
 // ensemble members: each member is a full simulation, so the boundary
 // between members is where abandoning a canceled request saves real work
-// without threading a context through the inner kernel.
+// without threading a context through the inner kernel. It runs members
+// sequentially on the calling goroutine; pass the shared compute pool to
+// RunEnsembleOn to run them in parallel.
 func RunEnsembleContext(ctx context.Context, decs []Decisions, params Params, f hydro.Forcing) (*EnsembleResult, error) {
+	return RunEnsembleOn(ctx, nil, decs, params, f)
+}
+
+// RunEnsembleOn runs the ensemble members in parallel on the compute
+// pool (nil runs them sequentially inline). Each executor carries one
+// reusable Scratch, so a member costs the model build plus one copy of
+// its output rather than fresh simulation buffers; results are
+// aggregated in decision-index order, making Members and Mean
+// bit-identical to the sequential implementation for any worker count.
+func RunEnsembleOn(ctx context.Context, p *sched.Pool, decs []Decisions, params Params, f hydro.Forcing) (*EnsembleResult, error) {
 	if len(decs) == 0 {
 		return nil, fmt.Errorf("no decisions: %w", ErrBadDecision)
 	}
+	// Validate the shared inputs up front: member tasks then fail only on
+	// their own decision set, and every failure mode surfaces the same
+	// error a sequential loop would have hit first.
+	if err := params.Validate(); err != nil {
+		return nil, fmt.Errorf("building %v: %w", decs[0], err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("running %v: %w", decs[0], err)
+	}
+
+	results := make([]*timeseries.Series, len(decs))
+	runner := sched.NewRunner(p, sched.ClassModel, func() *Scratch { return &Scratch{} })
+	err := runner.ForEach(ctx, len(decs), func(sc *Scratch, i int) error {
+		m, err := New(decs[i], params)
+		if err != nil {
+			return fmt.Errorf("building %v: %w", decs[i], err)
+		}
+		q, err := m.runInto(f, sc)
+		if err != nil {
+			return fmt.Errorf("running %v: %w", decs[i], err)
+		}
+		// The scratch series is overwritten by this executor's next
+		// member; the ensemble result owns a copy.
+		results[i] = q.Clone()
+		return nil
+	})
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil && errors.Is(err, ctxErr) {
+			return nil, fmt.Errorf("ensemble canceled: %w", err)
+		}
+		return nil, err
+	}
+
+	// Aggregate in decision-index order into a single accumulator: the
+	// same element-wise additions, in the same order, as the sequential
+	// sum.Add chain, without allocating a fresh series per member.
 	res := &EnsembleResult{Members: make(map[string]*timeseries.Series, len(decs))}
-	var sum *timeseries.Series
-	for _, d := range decs {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("ensemble canceled before %v: %w", d, err)
-		}
-		m, err := New(d, params)
-		if err != nil {
-			return nil, fmt.Errorf("building %v: %w", d, err)
-		}
-		q, err := m.Run(f)
-		if err != nil {
-			return nil, fmt.Errorf("running %v: %w", d, err)
-		}
-		res.Members[m.Name()] = q
-		if sum == nil {
-			sum = q.Clone()
-			continue
-		}
-		sum, err = sum.Add(q)
-		if err != nil {
-			return nil, fmt.Errorf("aggregating %v: %w", d, err)
+	acc := results[0].Clone()
+	accV := acc.Raw()
+	res.Members[decs[0].String()] = results[0]
+	for j := 1; j < len(decs); j++ {
+		q := results[j]
+		res.Members[decs[j].String()] = q
+		qv := q.Raw()
+		for t := range accV {
+			accV[t] += qv[t]
 		}
 	}
-	res.Mean = sum.Scale(1 / float64(len(decs)))
+	k := 1 / float64(len(decs))
+	for t := range accV {
+		accV[t] *= k
+	}
+	res.Mean = acc
 	return res, nil
 }

@@ -1,0 +1,92 @@
+package fuse
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"evop/internal/sched"
+	"evop/internal/timeseries"
+)
+
+func seriesIdentical(t *testing.T, label string, want, got *timeseries.Series) {
+	t.Helper()
+	if want.Len() != got.Len() {
+		t.Fatalf("%s: len %d != %d", label, got.Len(), want.Len())
+	}
+	for i := 0; i < want.Len(); i++ {
+		// Bit-identical, not approximately equal: the parallel path must
+		// do the same float operations in the same order.
+		if got.At(i) != want.At(i) {
+			t.Fatalf("%s: sample %d = %v, want %v", label, i, got.At(i), want.At(i))
+		}
+	}
+}
+
+// TestRunEnsembleOnMatchesSequential pins the ensemble determinism
+// contract: every member and the mean are bit-identical to the
+// sequential run for any worker count.
+func TestRunEnsembleOnMatchesSequential(t *testing.T) {
+	f := testForcing(t, 240, 11)
+	decs := AllDecisions()
+	params := DefaultParams()
+	want, err := RunEnsembleOn(context.Background(), nil, decs, params, f)
+	if err != nil {
+		t.Fatalf("sequential ensemble: %v", err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		p, err := sched.New(sched.Config{Workers: workers})
+		if err != nil {
+			t.Fatalf("New(workers=%d): %v", workers, err)
+		}
+		got, err := RunEnsembleOn(context.Background(), p, decs, params, f)
+		p.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got.Members) != len(want.Members) {
+			t.Fatalf("workers=%d: %d members, want %d", workers, len(got.Members), len(want.Members))
+		}
+		for name, q := range want.Members {
+			gq, ok := got.Members[name]
+			if !ok {
+				t.Fatalf("workers=%d: member %s missing", workers, name)
+			}
+			seriesIdentical(t, name, q, gq)
+		}
+		seriesIdentical(t, "mean", want.Mean, got.Mean)
+	}
+}
+
+// TestRunEnsembleOnCancellation: a canceled context surfaces as a
+// wrapped context error, on the pool and inline alike.
+func TestRunEnsembleOnCancellation(t *testing.T) {
+	f := testForcing(t, 48, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p, err := sched.New(sched.Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	for _, pool := range []*sched.Pool{nil, p} {
+		if _, err := RunEnsembleOn(ctx, pool, AllDecisions(), DefaultParams(), f); !errors.Is(err, context.Canceled) {
+			t.Fatalf("pool=%v: err = %v, want context.Canceled", pool != nil, err)
+		}
+	}
+}
+
+// TestRunEnsembleOnMemberError: a bad decision set fails the whole
+// ensemble with that member's build error.
+func TestRunEnsembleOnMemberError(t *testing.T) {
+	f := testForcing(t, 48, 3)
+	decs := []Decisions{baseDecisions(), {Upper: 99, Perc: PercFieldCap, Base: BaseLinear, Routing: RouteNone}}
+	p, err := sched.New(sched.Config{Workers: 2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	if _, err := RunEnsembleOn(context.Background(), p, decs, DefaultParams(), f); !errors.Is(err, ErrBadDecision) {
+		t.Fatalf("err = %v, want ErrBadDecision", err)
+	}
+}

@@ -1,0 +1,43 @@
+//go:build !race
+
+package sched
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSchedMapAllocs pins the steady-state allocation contract: a reused
+// Runner dispatching a batch across the pool allocates nothing — the
+// batch struct is embedded, worker states are built once, and the queue
+// slices keep their capacity between batches. Guarded out under the race
+// detector, whose instrumentation perturbs allocation counts.
+func TestSchedMapAllocs(t *testing.T) {
+	p, err := New(Config{Workers: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer p.Close()
+	r := NewRunner(p, ClassModel, func() *float64 { return new(float64) })
+	out := make([]float64, 1024)
+	ctx := context.Background()
+	fn := func(st *float64, i int) error {
+		*st += float64(i)
+		out[i] = *st
+		return nil
+	}
+	// Warm up: builds worker states and grows the queues.
+	for i := 0; i < 3; i++ {
+		if err := r.ForEach(ctx, len(out), fn); err != nil {
+			t.Fatalf("warmup: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := r.ForEach(ctx, len(out), fn); err != nil {
+			t.Fatalf("ForEach: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ForEach allocates %.1f objects per batch, want 0", allocs)
+	}
+}
